@@ -1,0 +1,28 @@
+//! Throughput of the §2 measure analyses (the engine behind Figures 2
+//! and 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ulc_measures::{analyze, MeasureKind};
+use ulc_trace::synthetic;
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measure_analysis");
+    let refs = 20_000;
+    let trace = synthetic::zipf_small(refs);
+    group.throughput(Throughput::Elements(refs as u64));
+    for kind in MeasureKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| analyze(&trace, kind, 10).total_references),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_measures
+}
+criterion_main!(benches);

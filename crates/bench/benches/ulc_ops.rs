@@ -1,0 +1,77 @@
+//! E6: per-reference operation cost of ULC vs plain LRU (§5's claim that
+//! ULC's stack operations are O(1) and "comparable with that of LRU").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ulc_cache::LruCache;
+use ulc_core::{UlcConfig, UlcSingle};
+use ulc_hierarchy::MultiLevelPolicy;
+use ulc_trace::{synthetic, BlockId, ClientId};
+
+fn bench_per_reference_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_reference");
+    let refs = 100_000usize;
+    for (name, trace) in [
+        ("zipf", synthetic::zipf_small(refs)),
+        ("loop", synthetic::cs(refs)),
+        ("sprite", synthetic::sprite(refs)),
+    ] {
+        let blocks: Vec<BlockId> = trace.iter().map(|r| r.block).collect();
+        group.throughput(Throughput::Elements(refs as u64));
+        group.bench_with_input(BenchmarkId::new("lru", name), &blocks, |b, blocks| {
+            b.iter(|| {
+                let mut cache = LruCache::new(1200);
+                let mut hits = 0u64;
+                for &blk in blocks {
+                    if cache.access(blk).is_hit() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ulc_3level", name),
+            &blocks,
+            |b, blocks| {
+                b.iter(|| {
+                    let mut ulc = UlcSingle::new(UlcConfig::new(vec![400, 400, 400]));
+                    let mut hits = 0u64;
+                    for &blk in blocks {
+                        if ulc.access(ClientId::SINGLE, blk).hit_level.is_some() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scaling_with_cache_size(c: &mut Criterion) {
+    // O(1) check: cost per reference must not grow with cache size.
+    let mut group = c.benchmark_group("ulc_scaling");
+    let trace = synthetic::zipf_small(50_000);
+    let blocks: Vec<BlockId> = trace.iter().map(|r| r.block).collect();
+    for size in [100usize, 400, 1600] {
+        group.throughput(Throughput::Elements(blocks.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let mut ulc = UlcSingle::new(UlcConfig::new(vec![size, size, size]));
+                for &blk in &blocks {
+                    ulc.access(ClientId::SINGLE, blk);
+                }
+                ulc.num_levels()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_per_reference_cost, bench_scaling_with_cache_size
+}
+criterion_main!(benches);

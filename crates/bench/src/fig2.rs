@@ -1,0 +1,146 @@
+//! Figure 2: per-segment reference ratios of the four measures on the six
+//! small-scale traces.
+
+use crate::Scale;
+use serde::{Deserialize, Serialize};
+use ulc_measures::{analyze, MeasureKind};
+use ulc_trace::synthetic;
+
+/// One (trace, measure) cell of Figure 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig2Cell {
+    /// Workload name (paper's trace name).
+    pub trace: String,
+    /// Measure name.
+    pub measure: String,
+    /// Reference ratio of each of the 10 segments.
+    pub reference_ratios: Vec<f64>,
+    /// Cumulative reference ratios.
+    pub cumulative: Vec<f64>,
+    /// Fraction of references that were first accesses.
+    pub cold_fraction: f64,
+}
+
+/// Runs the Figure 2 study.
+pub fn run(scale: Scale) -> Vec<Fig2Cell> {
+    let mut out = Vec::new();
+    for (name, trace) in synthetic::small_suite(scale.small_refs()) {
+        for kind in MeasureKind::ALL {
+            let report = analyze(&trace, kind, 10);
+            out.push(Fig2Cell {
+                trace: name.to_string(),
+                measure: kind.name().to_string(),
+                reference_ratios: report.reference_ratios(),
+                cumulative: report.cumulative_ratios(),
+                cold_fraction: report.cold_references as f64
+                    / report.total_references.max(1) as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the study as the paper lays it out: one block per trace, one
+/// row per measure, one column per segment.
+pub fn render(cells: &[Fig2Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 2: reference ratios per list segment (10 segments)\n");
+    let mut current = "";
+    for c in cells {
+        if c.trace != current {
+            current = &c.trace;
+            s.push_str(&format!(
+                "\n{}  (cold {:.1}%)\n{:>8}",
+                c.trace,
+                100.0 * c.cold_fraction,
+                "seg:"
+            ));
+            for i in 1..=10 {
+                s.push_str(&format!("{i:>7}"));
+            }
+            s.push('\n');
+        }
+        s.push_str(&format!("{:>8}", c.measure));
+        for r in &c.reference_ratios {
+            s.push_str(&format!("{:>7.3}", r));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The smoke-scale study is computed once and shared by every test.
+    fn cells() -> &'static [Fig2Cell] {
+        static CELLS: OnceLock<Vec<Fig2Cell>> = OnceLock::new();
+        CELLS.get_or_init(|| run(Scale::Smoke))
+    }
+
+    #[test]
+    fn produces_all_24_cells() {
+        let cells = cells();
+        assert_eq!(cells.len(), 6 * 4);
+        for c in cells {
+            assert_eq!(c.reference_ratios.len(), 10);
+            let last = *c.cumulative.last().unwrap();
+            assert!((last + c.cold_fraction - 1.0).abs() < 1e-9, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn paper_observation_1_nd_best_r_worst_on_loops() {
+        let cells = cells();
+        let get = |t: &str, m: &str| {
+            cells
+                .iter()
+                .find(|c| c.trace == t && c.measure == m)
+                .unwrap()
+        };
+        for t in ["cs", "glimpse"] {
+            let nd = get(t, "ND");
+            let r = get(t, "R");
+            // ND concentrates hits toward the head; R pushes them to the
+            // tail segments (after segment 9 for cs).
+            assert!(
+                nd.cumulative[4] > r.cumulative[4] + 0.2,
+                "{t}: ND {:?} vs R {:?}",
+                nd.cumulative,
+                r.cumulative
+            );
+        }
+        let r_cs = get("cs", "R");
+        assert!(r_cs.reference_ratios[9] > 0.5, "cs under R hits the tail");
+    }
+
+    #[test]
+    fn paper_observation_2_lld_r_close_to_nld() {
+        let cells = cells();
+        for t in ["cs", "glimpse", "zipf", "sprite", "multi"] {
+            let nld = cells
+                .iter()
+                .find(|c| c.trace == t && c.measure == "NLD")
+                .unwrap();
+            let lld_r = cells
+                .iter()
+                .find(|c| c.trace == t && c.measure == "LLD-R")
+                .unwrap();
+            let diff = (nld.cumulative[4] - lld_r.cumulative[4]).abs();
+            assert!(diff < 0.25, "{t}: NLD vs LLD-R head gap = {diff}");
+        }
+    }
+
+    #[test]
+    fn render_contains_every_trace_and_measure() {
+        let text = render(cells());
+        for t in ["cs", "glimpse", "zipf", "random", "sprite", "multi"] {
+            assert!(text.contains(t), "missing {t}");
+        }
+        for m in ["ND", "NLD", "LLD-R"] {
+            assert!(text.contains(m), "missing {m}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 3: block movement ratios at the nine segment boundaries for the
+//! four measures.
+
+use crate::Scale;
+use serde::{Deserialize, Serialize};
+use ulc_measures::{analyze, MeasureKind};
+use ulc_trace::synthetic;
+
+/// One (trace, measure) curve of Figure 3.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig3Curve {
+    /// Workload name.
+    pub trace: String,
+    /// Measure name.
+    pub measure: String,
+    /// Movement ratio at each of the 9 boundaries.
+    pub movement_ratios: Vec<f64>,
+    /// Mean across boundaries.
+    pub mean: f64,
+}
+
+/// Runs the Figure 3 study.
+pub fn run(scale: Scale) -> Vec<Fig3Curve> {
+    let mut out = Vec::new();
+    for (name, trace) in synthetic::small_suite(scale.small_refs()) {
+        for kind in MeasureKind::ALL {
+            let report = analyze(&trace, kind, 10);
+            out.push(Fig3Curve {
+                trace: name.to_string(),
+                measure: kind.name().to_string(),
+                movement_ratios: report.movement_ratios(),
+                mean: report.mean_movement_ratio(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the curves as rows of boundary values.
+pub fn render(curves: &[Fig3Curve]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 3: movement ratios per segment boundary\n");
+    let mut current = "";
+    for c in curves {
+        if c.trace != current {
+            current = &c.trace;
+            s.push_str(&format!("\n{}\n{:>8}", c.trace, "bdry:"));
+            for i in 1..=9 {
+                s.push_str(&format!("{i:>7}"));
+            }
+            s.push_str(&format!("{:>8}\n", "mean"));
+        }
+        s.push_str(&format!("{:>8}", c.measure));
+        for r in &c.movement_ratios {
+            s.push_str(&format!("{:>7.3}", r));
+        }
+        s.push_str(&format!("{:>8.3}\n", c.mean));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The smoke-scale study is computed once and shared by every test.
+    fn curves() -> &'static [Fig3Curve] {
+        static CURVES: OnceLock<Vec<Fig3Curve>> = OnceLock::new();
+        CURVES.get_or_init(|| run(Scale::Smoke))
+    }
+
+    fn mean(curves: &[Fig3Curve], t: &str, m: &str) -> f64 {
+        curves
+            .iter()
+            .find(|c| c.trace == t && c.measure == m)
+            .unwrap()
+            .mean
+    }
+
+    #[test]
+    fn produces_all_24_curves() {
+        let curves = curves();
+        assert_eq!(curves.len(), 24);
+        assert!(curves.iter().all(|c| c.movement_ratios.len() == 9));
+    }
+
+    #[test]
+    fn paper_observation_1_nd_and_r_move_most() {
+        // "ND and R have the highest movement ratios … NLD and LLD-R have
+        // much lower movement ratios."
+        let curves = curves();
+        for t in ["cs", "glimpse", "zipf", "sprite", "multi"] {
+            let volatile = mean(curves, t, "ND").min(mean(curves, t, "R"));
+            let stable = mean(curves, t, "NLD").max(mean(curves, t, "LLD-R"));
+            assert!(
+                stable < volatile,
+                "{t}: stable {stable:.3} !< volatile {volatile:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_observation_2_gap_pronounced_on_glimpse() {
+        let curves = curves();
+        assert!(
+            mean(curves, "glimpse", "LLD-R") < mean(curves, "glimpse", "R") / 4.0,
+            "LLD-R {} vs R {}",
+            mean(curves, "glimpse", "LLD-R"),
+            mean(curves, "glimpse", "R")
+        );
+        // NLD carries some one-time insertion churn at short trace
+        // lengths, so the offline gap is asserted at 2× rather than 4×.
+        assert!(
+            mean(curves, "glimpse", "NLD") < mean(curves, "glimpse", "ND") / 2.0
+        );
+    }
+
+    #[test]
+    fn paper_observation_3_lld_r_not_worse_than_nld_mostly() {
+        // "The ratios of LLD-R are smaller than those of NLD in most
+        // cases": require it for a majority of the six traces.
+        let curves = curves();
+        let wins = ["cs", "glimpse", "zipf", "random", "sprite", "multi"]
+            .iter()
+            .filter(|t| mean(curves, t, "LLD-R") <= mean(curves, t, "NLD") + 0.02)
+            .count();
+        assert!(wins >= 4, "LLD-R no-worse-than-NLD on only {wins}/6 traces");
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let text = render(curves());
+        assert!(text.contains("glimpse"));
+        assert!(text.contains("mean"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Figure 7: multi-client average access times vs server cache size
+//! (§4.4).
+//!
+//! Workloads: `httpd` (7 clients, 8 MB each), `openmail` (6 clients, 1 GB
+//! each), `db2` (8 clients, 256 MB each). Schemes: indLRU, uniLRU (best
+//! of its insertion variants, as the paper reports), MQ at the server
+//! under LRU clients, and ULC. `openmail` and `db2` sizes are divided by
+//! a fixed factor (16 and 8) to keep default runs tractable; every
+//! footprint-to-cache ratio is preserved (see DESIGN.md §3).
+
+use crate::Scale;
+use serde::{Deserialize, Serialize};
+use ulc_core::{UlcMulti, UlcMultiConfig};
+use ulc_hierarchy::{
+    simulate, CostModel, IndLru, LruMqServer, MultiLevelPolicy, UniLru, UniLruVariant,
+};
+use ulc_trace::{blocks_for_mib, synthetic, Trace};
+
+/// One point of one curve of Figure 7.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig7Point {
+    /// Workload name.
+    pub trace: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Server cache size in blocks.
+    pub server_blocks: usize,
+    /// Average access time (ms).
+    pub avg_time_ms: f64,
+    /// Client-level (L1) hit rate.
+    pub h1: f64,
+    /// Server-level (L2) hit rate.
+    pub h2: f64,
+    /// Demotion rate at the client/server boundary.
+    pub demotion_rate: f64,
+}
+
+/// One multi-client workload configuration.
+#[derive(Clone, Debug)]
+pub struct Fig7Workload {
+    /// Workload name.
+    pub name: &'static str,
+    /// The interleaved multi-client trace.
+    pub trace: Trace,
+    /// Number of clients.
+    pub clients: usize,
+    /// Private cache blocks per client.
+    pub client_blocks: usize,
+    /// Server sizes to sweep (blocks).
+    pub server_sweep: Vec<usize>,
+}
+
+/// Builds the three workloads at the given scale.
+pub fn workloads(scale: Scale) -> Vec<Fig7Workload> {
+    let refs = scale.multi_refs();
+    // openmail is scaled down 16×, db2 8× (paper sizes are 18.6 GB and
+    // 5.2 GB data sets); httpd runs at the paper's sizes.
+    let openmail_footprint = (blocks_for_mib(18_600) / 16) as u64;
+    let db2_footprint = (blocks_for_mib(5_200) / 8) as u64;
+    vec![
+        Fig7Workload {
+            name: "httpd",
+            trace: synthetic::httpd_multi(refs),
+            clients: 7,
+            client_blocks: blocks_for_mib(8) as usize,
+            server_sweep: vec![2_048, 4_096, 8_192, 16_384, 32_768],
+        },
+        Fig7Workload {
+            name: "openmail",
+            trace: synthetic::openmail(refs, openmail_footprint),
+            clients: 6,
+            client_blocks: (blocks_for_mib(1_024) / 16) as usize,
+            server_sweep: vec![8_192, 16_384, 32_768, 65_536, 98_304],
+        },
+        Fig7Workload {
+            name: "db2",
+            trace: synthetic::db2_multi(refs, db2_footprint),
+            clients: 8,
+            client_blocks: (blocks_for_mib(256) / 8) as usize,
+            server_sweep: vec![4_096, 8_192, 16_384, 32_768, 65_536],
+        },
+    ]
+}
+
+fn point(
+    w: &Fig7Workload,
+    scheme: &mut dyn MultiLevelPolicy,
+    server: usize,
+    costs: &CostModel,
+    name: &str,
+) -> Fig7Point {
+    let stats = simulate(scheme, &w.trace, w.trace.warmup_len());
+    Fig7Point {
+        trace: w.name.to_string(),
+        scheme: name.to_string(),
+        server_blocks: server,
+        avg_time_ms: stats.average_access_time(costs),
+        h1: stats.hit_rates()[0],
+        h2: stats.hit_rates()[1],
+        demotion_rate: stats.demotion_rates()[0],
+    }
+}
+
+/// Runs one workload through all four schemes at one server size.
+/// uniLRU is the best of its three insertion variants, as the paper
+/// reports ("we ran all the versions and report the best results").
+pub fn run_cell(w: &Fig7Workload, server: usize) -> Vec<Fig7Point> {
+    let costs = CostModel::paper_two_level();
+    let client_caps = vec![w.client_blocks; w.clients];
+    let mut out = Vec::new();
+
+    let mut ind = IndLru::multi_client(client_caps.clone(), vec![server]);
+    out.push(point(w, &mut ind, server, &costs, "indLRU"));
+
+    let best_uni = [
+        UniLruVariant::MruInsert,
+        UniLruVariant::LruInsert,
+        UniLruVariant::Adaptive,
+    ]
+    .into_iter()
+    .map(|v| {
+        let mut uni = UniLru::multi_client(client_caps.clone(), vec![server], v);
+        point(w, &mut uni, server, &costs, "uniLRU")
+    })
+    .min_by(|a, b| a.avg_time_ms.total_cmp(&b.avg_time_ms))
+    .expect("three variants");
+    out.push(best_uni);
+
+    let mut mq = LruMqServer::new(client_caps.clone(), server);
+    out.push(point(w, &mut mq, server, &costs, "MQ"));
+
+    let mut ulc = UlcMulti::new(UlcMultiConfig {
+        client_capacities: client_caps,
+        server_capacity: server,
+        claim_rule: Default::default(),
+    });
+    out.push(point(w, &mut ulc, server, &costs, "ULC"));
+    out
+}
+
+/// Runs the full Figure 7 sweep.
+pub fn run(scale: Scale) -> Vec<Fig7Point> {
+    let mut out = Vec::new();
+    for w in workloads(scale) {
+        for &server in &w.server_sweep {
+            out.extend(run_cell(&w, server));
+        }
+    }
+    out
+}
+
+/// Renders one curve block per workload: rows = schemes, columns = server
+/// sizes.
+pub fn render(points: &[Fig7Point]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 7: average access time (ms) vs server cache size\n");
+    for trace in ["httpd", "openmail", "db2"] {
+        let of_trace: Vec<&Fig7Point> = points.iter().filter(|p| p.trace == trace).collect();
+        if of_trace.is_empty() {
+            continue;
+        }
+        let mut sizes: Vec<usize> = of_trace.iter().map(|p| p.server_blocks).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        s.push_str(&format!("\n{trace}\n{:>8}", "MB:"));
+        for z in &sizes {
+            s.push_str(&format!("{:>9}", z * 8 / 1024));
+        }
+        s.push('\n');
+        for scheme in ["indLRU", "uniLRU", "MQ", "ULC"] {
+            s.push_str(&format!("{scheme:>8}"));
+            for z in &sizes {
+                let p = of_trace
+                    .iter()
+                    .find(|p| p.scheme == scheme && p.server_blocks == *z)
+                    .expect("complete grid");
+                s.push_str(&format!("{:>9.3}", p.avg_time_ms));
+            }
+            s.push('\n');
+        }
+    }
+    s
+}
+
+/// Renders the underlying hit/demotion grid (one block per workload and
+/// metric) — the detail behind the Figure 7 curves.
+pub fn render_detail(points: &[Fig7Point]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 7 detail: h(client) / h(server) / demotion rate\n");
+    for trace in ["httpd", "openmail", "db2"] {
+        let of_trace: Vec<&Fig7Point> = points.iter().filter(|p| p.trace == trace).collect();
+        if of_trace.is_empty() {
+            continue;
+        }
+        let mut sizes: Vec<usize> = of_trace.iter().map(|p| p.server_blocks).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        for (metric, get) in [
+            ("h1", (|p: &Fig7Point| p.h1) as fn(&Fig7Point) -> f64),
+            ("h2", |p| p.h2),
+            ("demote", |p| p.demotion_rate),
+        ] {
+            s.push_str(&format!("\n{trace} {metric}\n"));
+            for scheme in ["indLRU", "uniLRU", "MQ", "ULC"] {
+                s.push_str(&format!("{scheme:>8}"));
+                for z in &sizes {
+                    let p = of_trace
+                        .iter()
+                        .find(|p| p.scheme == scheme && p.server_blocks == *z)
+                        .expect("complete grid");
+                    s.push_str(&format!("{:>9.3}", get(p)));
+                }
+                s.push('\n');
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::sync::OnceLock;
+
+    /// A reduced sweep for tests: one mid-range server size per workload,
+    /// computed once and shared by every test.
+    fn quick_points() -> &'static [Fig7Point] {
+        static POINTS: OnceLock<Vec<Fig7Point>> = OnceLock::new();
+        POINTS.get_or_init(|| {
+            let mut out = Vec::new();
+            for w in workloads(Scale::Smoke) {
+                let server = w.server_sweep[w.server_sweep.len() / 2];
+                out.extend(run_cell(&w, server));
+            }
+            out
+        })
+    }
+
+    #[test]
+    fn ulc_achieves_best_average_access_time() {
+        // §4.4: "for all the workloads ULC achieves the best performance".
+        let points = quick_points();
+        for trace in ["httpd", "openmail", "db2"] {
+            let of: Vec<&Fig7Point> = points.iter().filter(|p| p.trace == trace).collect();
+            let ulc = of.iter().find(|p| p.scheme == "ULC").unwrap();
+            for p in &of {
+                assert!(
+                    ulc.avg_time_ms <= p.avg_time_ms * 1.02,
+                    "{trace}: ULC {:.3} vs {} {:.3}",
+                    ulc.avg_time_ms,
+                    p.scheme,
+                    p.avg_time_ms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ulc_demotion_rate_is_far_below_uni_lru_on_db2() {
+        // §4.4: db2 demotion rate 88.6% under (plain) uniLRU vs 7.2%
+        // under ULC. Our uniLRU column is the best variant, which may
+        // avoid demotions entirely, so compare ULC against the plain
+        // MRU-insert scheme directly.
+        let w = workloads(Scale::Smoke).into_iter().find(|w| w.name == "db2").unwrap();
+        let server = w.server_sweep[1];
+        let costs = CostModel::paper_two_level();
+        let caps = vec![w.client_blocks; w.clients];
+        let mut plain = UniLru::multi_client(caps.clone(), vec![server], UniLruVariant::MruInsert);
+        let uni = point(&w, &mut plain, server, &costs, "uniLRU");
+        let mut ulc = UlcMulti::new(UlcMultiConfig {
+            client_capacities: caps,
+            server_capacity: server,
+            claim_rule: Default::default(),
+        });
+        let ulc = point(&w, &mut ulc, server, &costs, "ULC");
+        assert!(uni.demotion_rate > 0.5, "uniLRU = {:.3}", uni.demotion_rate);
+        assert!(
+            ulc.demotion_rate < uni.demotion_rate / 4.0,
+            "ULC {:.3} vs uniLRU {:.3}",
+            ulc.demotion_rate,
+            uni.demotion_rate
+        );
+    }
+
+    #[test]
+    fn grid_is_complete_and_renderable() {
+        let points = quick_points();
+        assert_eq!(points.len(), 3 * 4);
+        let full = render(points);
+        for s in ["httpd", "openmail", "db2", "ULC", "MQ"] {
+            assert!(full.contains(s), "missing {s}");
+        }
+        let detail = render_detail(points);
+        for s in ["httpd h1", "db2 demote", "openmail h2"] {
+            assert!(detail.contains(s), "missing {s}");
+        }
+    }
+}

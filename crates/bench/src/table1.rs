@@ -1,0 +1,47 @@
+//! Table 1: the qualitative comparison of the four measures, derived from
+//! the measured Figure 2/3 data.
+
+use crate::Scale;
+use ulc_measures::Table1;
+use ulc_trace::synthetic;
+
+/// Derives Table 1 over the six small-scale traces.
+pub fn run(scale: Scale) -> Table1 {
+    Table1::derive(&synthetic::small_suite(scale.small_refs()), 10)
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(table: &Table1) -> String {
+    format!("Table 1: comparison of the four measures\n{table}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulc_measures::{MeasureKind, Rating};
+
+    #[test]
+    fn matches_paper_table_1_exactly() {
+        let t = run(Scale::Smoke);
+        let expect = [
+            (MeasureKind::Nd, Rating::Strong, Rating::Weak, false),
+            (MeasureKind::R, Rating::Weak, Rating::Weak, true),
+            (MeasureKind::Nld, Rating::Strong, Rating::Strong, false),
+            (MeasureKind::LldR, Rating::Strong, Rating::Strong, true),
+        ];
+        for (m, dist, stab, online) in expect {
+            let row = t.row(m);
+            assert_eq!(row.distinction, dist, "{m} distinction");
+            assert_eq!(row.stability, stab, "{m} stability");
+            assert_eq!(row.online, online, "{m} online");
+        }
+    }
+
+    #[test]
+    fn render_contains_ratings() {
+        let text = render(&run(Scale::Smoke));
+        assert!(text.contains("strong"));
+        assert!(text.contains("weak"));
+        assert!(text.contains("yes"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Single-level cache substrate for the ULC reproduction.
+//!
+//! The multi-level protocols of the paper are assembled from a small set of
+//! single-level building blocks, all provided here:
+//!
+//! * [`LinkedSlab`] — a slab-backed doubly-linked list with stable,
+//!   generation-checked handles; the backbone of every stack in the
+//!   workspace (including ULC's `uniLRUstack` with its yardstick pointers);
+//! * [`LruStack`] / [`LruCache`] — keyed recency stacks and bounded LRU;
+//! * [`MultiQueue`] — the MQ second-level replacement algorithm
+//!   (Zhou, Philbin & Li 2001), a Figure 7 baseline;
+//! * [`Lirs`] — the LIRS policy (Jiang & Zhang 2002), the single-level
+//!   ancestor of ULC's LLD ranking (§5 of the ULC paper);
+//! * [`OptCache`] — Belady's OPT, behind the paper's ND measure;
+//! * [`RandomCache`] — the RANDOM floor of §2.2;
+//! * [`lru_stack_distances`] / [`next_locality_distances`] — O(n log n)
+//!   recency (LLD) and NLD precomputation for the measures framework.
+//!
+//! # Examples
+//!
+//! ```
+//! use ulc_cache::{LruCache, MqConfig, MultiQueue};
+//!
+//! let mut lru = LruCache::new(512);
+//! let mut mq = MultiQueue::new(512, MqConfig::for_capacity(512));
+//! for block in 0u64..1000 {
+//!     lru.access(block);
+//!     mq.access(block);
+//! }
+//! assert!(lru.is_full());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod distance;
+mod lirs;
+mod list;
+mod lru;
+mod mq;
+mod opt;
+mod random_cache;
+
+pub use distance::{lru_stack_distances, next_locality_distances};
+pub use lirs::Lirs;
+pub use list::{Iter, LinkedSlab, NodeHandle};
+pub use lru::{CacheEvent, LruCache, LruStack};
+pub use mq::{MqConfig, MultiQueue};
+pub use opt::{next_use_times, OptCache, NEVER};
+pub use random_cache::RandomCache;

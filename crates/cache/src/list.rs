@@ -1,0 +1,580 @@
+//! A slab-backed doubly-linked list with stable handles.
+//!
+//! Every stack in this workspace — plain LRU stacks, the server's `gLRU`
+//! and ULC's `uniLRUstack` — needs O(1) insertion at the head, O(1) removal
+//! from anywhere, and stable references to interior nodes (the paper's
+//! *yardsticks* are exactly such references). [`LinkedSlab`] provides that
+//! without unsafe code: nodes live in a `Vec`, links are indices, and freed
+//! slots are recycled through a free list.
+//!
+//! Handles are generation-checked: using a handle after its node was removed
+//! returns `None` (or panics in the `expect`-style accessors) instead of
+//! silently addressing a recycled slot.
+
+use std::fmt;
+
+/// A stable, generation-checked reference to a node in a [`LinkedSlab`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeHandle({}v{})", self.index, self.generation)
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    value: Option<T>,
+    generation: u32,
+    prev: u32,
+    next: u32,
+}
+
+/// A doubly-linked list over a slab of nodes.
+///
+/// The *front* is the most-recently-inserted end (the top of an LRU stack);
+/// the *back* is the bottom.
+///
+/// # Examples
+///
+/// ```
+/// use ulc_cache::LinkedSlab;
+///
+/// let mut list = LinkedSlab::new();
+/// let a = list.push_front('a');
+/// let b = list.push_front('b');
+/// assert_eq!(list.front(), Some(b));
+/// assert_eq!(list.back(), Some(a));
+/// assert_eq!(list.remove(a), Some('a'));
+/// assert_eq!(list.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinkedSlab<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<T> Default for LinkedSlab<T> {
+    fn default() -> Self {
+        LinkedSlab::new()
+    }
+}
+
+impl<T> LinkedSlab<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        LinkedSlab {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty list with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LinkedSlab {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of nodes in the list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the list has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                let node = &mut self.nodes[i as usize];
+                node.value = Some(value);
+                i
+            }
+            None => {
+                assert!(self.nodes.len() < NIL as usize, "LinkedSlab capacity");
+                self.nodes.push(Node {
+                    value: Some(value),
+                    generation: 0,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn valid(&self, h: NodeHandle) -> bool {
+        self.nodes
+            .get(h.index as usize)
+            .is_some_and(|n| n.generation == h.generation && n.value.is_some())
+    }
+
+    /// Inserts at the front and returns a handle.
+    pub fn push_front(&mut self, value: T) -> NodeHandle {
+        let i = self.alloc(value);
+        let gen = self.nodes[i as usize].generation;
+        self.nodes[i as usize].prev = NIL;
+        self.nodes[i as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+        self.len += 1;
+        NodeHandle {
+            index: i,
+            generation: gen,
+        }
+    }
+
+    /// Inserts at the back and returns a handle.
+    pub fn push_back(&mut self, value: T) -> NodeHandle {
+        let i = self.alloc(value);
+        let gen = self.nodes[i as usize].generation;
+        self.nodes[i as usize].next = NIL;
+        self.nodes[i as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = i;
+        } else {
+            self.head = i;
+        }
+        self.tail = i;
+        self.len += 1;
+        NodeHandle {
+            index: i,
+            generation: gen,
+        }
+    }
+
+    /// Inserts `value` immediately before the node at `at`.
+    ///
+    /// Returns `None` (dropping nothing — the value is returned inside the
+    /// error) if the handle is stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` if `at` is stale.
+    pub fn insert_before(&mut self, at: NodeHandle, value: T) -> Result<NodeHandle, T> {
+        if !self.valid(at) {
+            return Err(value);
+        }
+        let i = self.alloc(value);
+        let gen = self.nodes[i as usize].generation;
+        let prev = self.nodes[at.index as usize].prev;
+        self.nodes[i as usize].prev = prev;
+        self.nodes[i as usize].next = at.index;
+        self.nodes[at.index as usize].prev = i;
+        if prev != NIL {
+            self.nodes[prev as usize].next = i;
+        } else {
+            self.head = i;
+        }
+        self.len += 1;
+        Ok(NodeHandle {
+            index: i,
+            generation: gen,
+        })
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[i as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Removes the node at `h`, returning its value, or `None` if stale.
+    pub fn remove(&mut self, h: NodeHandle) -> Option<T> {
+        if !self.valid(h) {
+            return None;
+        }
+        self.unlink(h.index);
+        let node = &mut self.nodes[h.index as usize];
+        node.generation = node.generation.wrapping_add(1);
+        let value = node.value.take();
+        self.free.push(h.index);
+        self.len -= 1;
+        value
+    }
+
+    /// Moves the node at `h` to the front. Returns `false` if stale.
+    pub fn move_to_front(&mut self, h: NodeHandle) -> bool {
+        if !self.valid(h) {
+            return false;
+        }
+        if self.head == h.index {
+            return true;
+        }
+        self.unlink(h.index);
+        self.nodes[h.index as usize].prev = NIL;
+        self.nodes[h.index as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = h.index;
+        } else {
+            self.tail = h.index;
+        }
+        self.head = h.index;
+        true
+    }
+
+    /// Moves the node at `h` to the back. Returns `false` if stale.
+    pub fn move_to_back(&mut self, h: NodeHandle) -> bool {
+        if !self.valid(h) {
+            return false;
+        }
+        if self.tail == h.index {
+            return true;
+        }
+        self.unlink(h.index);
+        self.nodes[h.index as usize].next = NIL;
+        self.nodes[h.index as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = h.index;
+        } else {
+            self.head = h.index;
+        }
+        self.tail = h.index;
+        true
+    }
+
+    fn handle_at(&self, i: u32) -> Option<NodeHandle> {
+        if i == NIL {
+            None
+        } else {
+            Some(NodeHandle {
+                index: i,
+                generation: self.nodes[i as usize].generation,
+            })
+        }
+    }
+
+    /// Handle of the front node, if any.
+    pub fn front(&self) -> Option<NodeHandle> {
+        self.handle_at(self.head)
+    }
+
+    /// Handle of the back node, if any.
+    pub fn back(&self) -> Option<NodeHandle> {
+        self.handle_at(self.tail)
+    }
+
+    /// Handle of the node after `h` (toward the back), or `None`.
+    pub fn next(&self, h: NodeHandle) -> Option<NodeHandle> {
+        if !self.valid(h) {
+            return None;
+        }
+        self.handle_at(self.nodes[h.index as usize].next)
+    }
+
+    /// Handle of the node before `h` (toward the front), or `None`.
+    pub fn prev(&self, h: NodeHandle) -> Option<NodeHandle> {
+        if !self.valid(h) {
+            return None;
+        }
+        self.handle_at(self.nodes[h.index as usize].prev)
+    }
+
+    /// Borrows the value at `h`, or `None` if stale.
+    pub fn get(&self, h: NodeHandle) -> Option<&T> {
+        if !self.valid(h) {
+            return None;
+        }
+        self.nodes[h.index as usize].value.as_ref()
+    }
+
+    /// Mutably borrows the value at `h`, or `None` if stale.
+    pub fn get_mut(&mut self, h: NodeHandle) -> Option<&mut T> {
+        if !self.valid(h) {
+            return None;
+        }
+        self.nodes[h.index as usize].value.as_mut()
+    }
+
+    /// Iterates front-to-back over `(handle, &value)` pairs.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            list: self,
+            cursor: self.head,
+        }
+    }
+
+    /// Removes every node.
+    pub fn clear(&mut self) {
+        let mut i = self.head;
+        while i != NIL {
+            let next = self.nodes[i as usize].next;
+            let node = &mut self.nodes[i as usize];
+            node.value = None;
+            node.generation = node.generation.wrapping_add(1);
+            self.free.push(i);
+            i = next;
+        }
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+    }
+}
+
+/// Front-to-back iterator over a [`LinkedSlab`]. Created by
+/// [`LinkedSlab::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    list: &'a LinkedSlab<T>,
+    cursor: u32,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (NodeHandle, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let i = self.cursor;
+        let node = &self.list.nodes[i as usize];
+        self.cursor = node.next;
+        Some((
+            NodeHandle {
+                index: i,
+                generation: node.generation,
+            },
+            node.value.as_ref().expect("linked nodes hold values"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect<T: Clone>(list: &LinkedSlab<T>) -> Vec<T> {
+        list.iter().map(|(_, v)| v.clone()).collect()
+    }
+
+    #[test]
+    fn push_front_orders_lifo() {
+        let mut l = LinkedSlab::new();
+        for i in 0..5 {
+            l.push_front(i);
+        }
+        assert_eq!(collect(&l), vec![4, 3, 2, 1, 0]);
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn push_back_orders_fifo() {
+        let mut l = LinkedSlab::new();
+        for i in 0..5 {
+            l.push_back(i);
+        }
+        assert_eq!(collect(&l), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn remove_middle_relinks() {
+        let mut l = LinkedSlab::new();
+        let _a = l.push_back('a');
+        let b = l.push_back('b');
+        let _c = l.push_back('c');
+        assert_eq!(l.remove(b), Some('b'));
+        assert_eq!(collect(&l), vec!['a', 'c']);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(1);
+        let b = l.push_back(2);
+        assert_eq!(l.remove(a), Some(1));
+        assert_eq!(l.front(), l.back());
+        assert_eq!(l.remove(b), Some(2));
+        assert!(l.is_empty());
+        assert_eq!(l.front(), None);
+        assert_eq!(l.back(), None);
+    }
+
+    #[test]
+    fn stale_handle_is_rejected_even_after_slot_reuse() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(1);
+        l.remove(a);
+        let b = l.push_back(2); // reuses slot 0
+        assert_eq!(l.get(a), None);
+        assert_eq!(l.remove(a), None);
+        assert!(!l.move_to_front(a));
+        assert_eq!(l.get(b), Some(&2));
+    }
+
+    #[test]
+    fn move_to_front_reorders() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back('a');
+        let _b = l.push_back('b');
+        let _c = l.push_back('c');
+        assert!(l.move_to_front(a));
+        assert_eq!(collect(&l), vec!['a', 'b', 'c']);
+        let back = l.back().unwrap();
+        assert!(l.move_to_front(back));
+        assert_eq!(collect(&l), vec!['c', 'a', 'b']);
+    }
+
+    #[test]
+    fn move_to_back_reorders() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back('a');
+        let _ = l.push_back('b');
+        assert!(l.move_to_back(a));
+        assert_eq!(collect(&l), vec!['b', 'a']);
+    }
+
+    #[test]
+    fn move_front_node_to_front_is_noop() {
+        let mut l = LinkedSlab::new();
+        let _ = l.push_back('a');
+        let b = l.push_front('b');
+        assert!(l.move_to_front(b));
+        assert_eq!(collect(&l), vec!['b', 'a']);
+    }
+
+    #[test]
+    fn insert_before_links_correctly() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back('a');
+        let c = l.push_back('c');
+        let b = l.insert_before(c, 'b').unwrap();
+        assert_eq!(collect(&l), vec!['a', 'b', 'c']);
+        assert_eq!(l.prev(b), Some(a));
+        assert_eq!(l.next(b), Some(c));
+        // Insert before the head updates the head.
+        let z = l.insert_before(a, 'z').unwrap();
+        assert_eq!(l.front(), Some(z));
+        assert_eq!(collect(&l), vec!['z', 'a', 'b', 'c']);
+    }
+
+    #[test]
+    fn insert_before_stale_handle_returns_value() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(1);
+        l.remove(a);
+        assert_eq!(l.insert_before(a, 9), Err(9));
+    }
+
+    #[test]
+    fn next_prev_traversal() {
+        let mut l = LinkedSlab::new();
+        let handles: Vec<_> = (0..4).map(|i| l.push_back(i)).collect();
+        let mut cur = l.front();
+        let mut seen = Vec::new();
+        while let Some(h) = cur {
+            seen.push(*l.get(h).unwrap());
+            cur = l.next(h);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(l.prev(handles[0]), None);
+        assert_eq!(l.next(handles[3]), None);
+        assert_eq!(l.prev(handles[2]), Some(handles[1]));
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(10);
+        *l.get_mut(a).unwrap() += 5;
+        assert_eq!(l.get(a), Some(&15));
+    }
+
+    #[test]
+    fn clear_resets_and_invalidates() {
+        let mut l = LinkedSlab::new();
+        let a = l.push_back(1);
+        l.push_back(2);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.get(a), None);
+        // Reusable after clear.
+        l.push_back(3);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut l = LinkedSlab::new();
+        for _ in 0..100 {
+            let h = l.push_front(0u8);
+            l.remove(h);
+        }
+        assert!(l.nodes.len() <= 2, "slab grew to {}", l.nodes.len());
+    }
+
+    #[test]
+    fn heavy_random_ops_keep_invariants() {
+        // Deterministic pseudo-random workout: compare against a Vec model.
+        let mut l = LinkedSlab::new();
+        let mut model: Vec<u64> = Vec::new();
+        let mut handles: Vec<(NodeHandle, u64)> = Vec::new();
+        let mut x = 0x12345678u64;
+        for step in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match x % 4 {
+                0 | 1 => {
+                    let h = l.push_front(step);
+                    model.insert(0, step);
+                    handles.push((h, step));
+                }
+                2 if !handles.is_empty() => {
+                    let pick = (x / 7) as usize % handles.len();
+                    let (h, v) = handles.swap_remove(pick);
+                    if let Some(got) = l.remove(h) {
+                        assert_eq!(got, v);
+                        let pos = model.iter().position(|&m| m == v).unwrap();
+                        model.remove(pos);
+                    }
+                }
+                _ if !handles.is_empty() => {
+                    let pick = (x / 11) as usize % handles.len();
+                    let (h, v) = handles[pick];
+                    if l.move_to_front(h) {
+                        let pos = model.iter().position(|&m| m == v).unwrap();
+                        model.remove(pos);
+                        model.insert(0, v);
+                    }
+                }
+                _ => {}
+            }
+            assert_eq!(l.len(), model.len());
+        }
+        let got: Vec<u64> = l.iter().map(|(_, &v)| v).collect();
+        assert_eq!(got, model);
+    }
+}

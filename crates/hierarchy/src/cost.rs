@@ -1,0 +1,106 @@
+//! The timing model of §4.1–4.2.
+//!
+//! `T_ave = Σ hᵢTᵢ + h_miss·T_m + Σ T_dᵢ·h_dᵢ` — per-level hit times, the
+//! miss penalty and per-boundary demotion costs. Demotions are charged on
+//! the critical path; §4.1 argues that hiding them is unrealistic (they
+//! burst, and reserving buffers to absorb them costs hit rate).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-level access times, miss penalty and per-boundary demotion costs,
+/// all in milliseconds per 8 KB block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// `T_i`: time to satisfy a hit at level `i` (0-indexed).
+    pub hit_time_ms: Vec<f64>,
+    /// `T_m`: time to satisfy a miss from disk.
+    pub miss_time_ms: f64,
+    /// `T_di`: time to demote one block across boundary `i` (level `i` →
+    /// `i+1`, 0-indexed; `levels - 1` entries).
+    pub demote_time_ms: Vec<f64>,
+}
+
+impl CostModel {
+    /// The paper's three-level environment (§4.3): client, server and
+    /// disk-array RAM cache. LAN transfer 1 ms, SAN transfer 0.2 ms, disk
+    /// read 10 ms per 8 KB block; a client hit is free.
+    ///
+    /// Hit times accumulate along the retrieval route: `T_1 = 0`,
+    /// `T_2 = 1`, `T_3 = 1.2`, `T_m = 11.2`.
+    pub fn paper_three_level() -> Self {
+        CostModel {
+            hit_time_ms: vec![0.0, 1.0, 1.2],
+            miss_time_ms: 11.2,
+            demote_time_ms: vec![1.0, 0.2],
+        }
+    }
+
+    /// A two-level client/server environment for the multi-client study
+    /// (§4.4): LAN transfer 1 ms, disk read 10 ms.
+    pub fn paper_two_level() -> Self {
+        CostModel {
+            hit_time_ms: vec![0.0, 1.0],
+            miss_time_ms: 11.0,
+            demote_time_ms: vec![1.0],
+        }
+    }
+
+    /// Number of cache levels the model covers.
+    pub fn levels(&self) -> usize {
+        self.hit_time_ms.len()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demotion vector is not one shorter than the hit
+    /// vector, or any time is negative.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.demote_time_ms.len() + 1,
+            self.hit_time_ms.len(),
+            "one demotion boundary per adjacent level pair"
+        );
+        assert!(
+            self.hit_time_ms.iter().all(|&t| t >= 0.0)
+                && self.demote_time_ms.iter().all(|&t| t >= 0.0)
+                && self.miss_time_ms >= 0.0,
+            "times must be non-negative"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_three_level_constants() {
+        let m = CostModel::paper_three_level();
+        m.validate();
+        assert_eq!(m.levels(), 3);
+        assert_eq!(m.hit_time_ms, vec![0.0, 1.0, 1.2]);
+        assert_eq!(m.miss_time_ms, 11.2);
+        assert_eq!(m.demote_time_ms, vec![1.0, 0.2]);
+    }
+
+    #[test]
+    fn paper_two_level_constants() {
+        let m = CostModel::paper_two_level();
+        m.validate();
+        assert_eq!(m.levels(), 2);
+        assert_eq!(m.miss_time_ms, 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary")]
+    fn validate_rejects_mismatched_lengths() {
+        CostModel {
+            hit_time_ms: vec![0.0, 1.0],
+            miss_time_ms: 10.0,
+            demote_time_ms: vec![],
+        }
+        .validate();
+    }
+}

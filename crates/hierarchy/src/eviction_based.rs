@@ -1,0 +1,183 @@
+//! Eviction-based placement (Chen, Zhou & Li, USENIX 2003) — the §5
+//! alternative for taming uniLRU's demotion traffic.
+//!
+//! Contents evolve exactly as under unified LRU, but a block evicted from
+//! the client is *reloaded into the server from disk* instead of being
+//! shipped over the network: zero demotion traffic on the client link, at
+//! the price of a reload *window* during which the block is in neither
+//! cache. A re-reference landing in the window goes to disk (and cancels
+//! the pending reload, since the block returns to the client).
+
+use crate::{AccessOutcome, MultiLevelPolicy};
+use std::collections::{HashMap, VecDeque};
+use ulc_cache::LruCache;
+use ulc_trace::{BlockId, ClientId};
+
+/// Two-level eviction-based placement: LRU client over an LRU server,
+/// exclusive like DEMOTE, with disk reloads instead of demotions.
+#[derive(Clone, Debug)]
+pub struct EvictionBased {
+    clients: Vec<LruCache<BlockId>>,
+    server: LruCache<BlockId>,
+    /// Blocks being fetched from disk into the server: block → ready
+    /// time. Drained as simulated time (one unit per reference) passes.
+    pending: HashMap<BlockId, u64>,
+    order: VecDeque<(u64, BlockId)>,
+    /// References a disk reload takes to complete.
+    reload_latency: u64,
+    now: u64,
+    reloads: u64,
+    window_misses: u64,
+}
+
+impl EvictionBased {
+    /// Builds the scheme with per-client capacities, a shared server, and
+    /// a reload latency in references (≈ disk time / inter-arrival time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client_capacities` is empty or any capacity is zero.
+    pub fn new(
+        client_capacities: Vec<usize>,
+        server_capacity: usize,
+        reload_latency: u64,
+    ) -> Self {
+        assert!(
+            !client_capacities.is_empty(),
+            "at least one client is required"
+        );
+        EvictionBased {
+            clients: client_capacities.into_iter().map(LruCache::new).collect(),
+            server: LruCache::new(server_capacity),
+            pending: HashMap::new(),
+            order: VecDeque::new(),
+            reload_latency,
+            now: 0,
+            reloads: 0,
+            window_misses: 0,
+        }
+    }
+
+    /// Disk reloads issued so far (the traffic demotions would have been).
+    pub fn reloads(&self) -> u64 {
+        self.reloads
+    }
+
+    /// References that missed only because they fell into a reload window.
+    pub fn window_misses(&self) -> u64 {
+        self.window_misses
+    }
+
+    /// Completes reloads whose window has passed.
+    fn drain_pending(&mut self) {
+        while let Some(&(ready, block)) = self.order.front() {
+            if ready > self.now {
+                break;
+            }
+            self.order.pop_front();
+            // Cancelled reloads have been removed from `pending`.
+            if self.pending.remove(&block).is_some() {
+                self.server.insert_mru(block);
+            }
+        }
+    }
+}
+
+impl MultiLevelPolicy for EvictionBased {
+    fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        self.now += 1;
+        self.drain_pending();
+        let c = client.as_usize();
+        assert!(c < self.clients.len(), "unknown client {client}");
+        let mut outcome = AccessOutcome::miss(1);
+
+        if self.clients[c].contains(&block) {
+            self.clients[c].access(block);
+            outcome.hit_level = Some(0);
+            return outcome;
+        }
+        if self.server.contains(&block) {
+            // Exclusive promotion, like DEMOTE.
+            self.server.remove(&block);
+            outcome.hit_level = Some(1);
+        } else if self.pending.remove(&block).is_some() {
+            // Reload window: the block is on its way from disk but not
+            // usable yet; the reference goes to disk, and the reload is
+            // cancelled (the block will live at the client instead).
+            self.window_misses += 1;
+        }
+        if let Some(victim) = self.clients[c].insert_mru(block) {
+            // Reload from disk instead of demoting: no transfer counted.
+            self.reloads += 1;
+            self.pending
+                .insert(victim, self.now + self.reload_latency);
+            self.order
+                .push_back((self.now + self.reload_latency, victim));
+        }
+        outcome
+    }
+
+    fn num_levels(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "evict-reload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, UniLru, UniLruVariant};
+    use ulc_trace::synthetic;
+
+    #[test]
+    fn no_demotion_transfers_ever() {
+        let t = synthetic::cs(30_000);
+        let mut p = EvictionBased::new(vec![500], 1000, 5);
+        let stats = simulate(&mut p, &t, t.warmup_len());
+        assert_eq!(stats.demotions_by_boundary, vec![0]);
+        assert!(p.reloads() > 0, "evictions must trigger reloads");
+    }
+
+    #[test]
+    fn with_zero_latency_matches_uni_lru_hit_rates() {
+        // Instant reloads reproduce exactly the DEMOTE content dynamics.
+        let t = synthetic::zipf_small(40_000);
+        let mut eb = EvictionBased::new(vec![300], 600, 0);
+        let mut uni = UniLru::multi_client(vec![300], vec![600], UniLruVariant::MruInsert);
+        let se = simulate(&mut eb, &t, t.warmup_len());
+        let su = simulate(&mut uni, &t, t.warmup_len());
+        assert_eq!(se.hits_by_level, su.hits_by_level);
+        assert_eq!(se.misses, su.misses);
+    }
+
+    #[test]
+    fn reload_window_costs_hits() {
+        // A loop that fits client+server exactly: with DEMOTE it hits
+        // fully. On a loop, an evicted block is re-referenced ~2000
+        // references after its eviction; a reload window longer than that
+        // turns the server hits into misses.
+        let t = synthetic::cs(50_000); // 2500-block loop
+        let mut fast = EvictionBased::new(vec![500], 2000, 0);
+        let mut slow = EvictionBased::new(vec![500], 2000, 2_100);
+        let sf = simulate(&mut fast, &t, t.warmup_len());
+        let ss = simulate(&mut slow, &t, t.warmup_len());
+        assert!(
+            ss.total_hit_rate() < sf.total_hit_rate(),
+            "window should cost hits: {:.3} vs {:.3}",
+            ss.total_hit_rate(),
+            sf.total_hit_rate()
+        );
+        assert!(slow.window_misses() > 0);
+    }
+
+    #[test]
+    fn multi_client_structure_is_supported() {
+        let t = synthetic::httpd_multi(20_000);
+        let mut p = EvictionBased::new(vec![256; 7], 2048, 10);
+        let stats = simulate(&mut p, &t, t.warmup_len());
+        assert!(stats.total_hit_rate() > 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Independent LRU (`indLRU`) — the commonly deployed baseline.
+//!
+//! Every level runs plain LRU on the request stream it happens to see:
+//! level `i` sees the misses of level `i-1`. No coordination, no
+//! demotions; evicted blocks are simply dropped. This is the scheme §1.1
+//! criticises: the low levels see a locality-filtered stream and duplicate
+//! blocks redundantly, so the hierarchy behaves far below its aggregate
+//! size.
+
+use crate::{AccessOutcome, MultiLevelPolicy};
+use ulc_cache::LruCache;
+use ulc_trace::{BlockId, ClientId};
+
+/// Independent per-level LRU over a hierarchy with private client caches
+/// (level 1) and shared lower levels.
+#[derive(Clone, Debug)]
+pub struct IndLru {
+    clients: Vec<LruCache<BlockId>>,
+    shared: Vec<LruCache<BlockId>>,
+}
+
+impl IndLru {
+    /// A single-client hierarchy: `capacities[0]` is the client cache,
+    /// the rest are the shared lower levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or any capacity is zero.
+    pub fn single_client(capacities: Vec<usize>) -> Self {
+        assert!(!capacities.is_empty(), "at least one level is required");
+        IndLru::multi_client(vec![capacities[0]], capacities[1..].to_vec())
+    }
+
+    /// A multi-client hierarchy: one private client cache per entry of
+    /// `client_capacities`, then the shared levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client_capacities` is empty or any capacity is zero.
+    pub fn multi_client(client_capacities: Vec<usize>, shared_capacities: Vec<usize>) -> Self {
+        assert!(
+            !client_capacities.is_empty(),
+            "at least one client is required"
+        );
+        IndLru {
+            clients: client_capacities.into_iter().map(LruCache::new).collect(),
+            shared: shared_capacities.into_iter().map(LruCache::new).collect(),
+        }
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+impl MultiLevelPolicy for IndLru {
+    fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        let boundaries = self.num_levels() - 1;
+        let c = client.as_usize();
+        assert!(c < self.clients.len(), "unknown client {client}");
+        if self.clients[c].access(block).is_hit() {
+            return AccessOutcome::hit(0, boundaries);
+        }
+        for (i, level) in self.shared.iter_mut().enumerate() {
+            if level.access(block).is_hit() {
+                return AccessOutcome::hit(i + 1, boundaries);
+            }
+        }
+        AccessOutcome::miss(boundaries)
+    }
+
+    fn num_levels(&self) -> usize {
+        1 + self.shared.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "indLRU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use ulc_trace::synthetic;
+
+    #[test]
+    fn inclusive_duplication_wastes_lower_levels() {
+        // §4.3's random observation: under indLRU the lower levels see a
+        // locality-less residual stream and contribute almost nothing,
+        // while the first level gets ~ its proportional share.
+        let t = synthetic::random_small(120_000);
+        let c = 1000; // universe is 5000 blocks
+        let mut p = IndLru::single_client(vec![c, c, c]);
+        let stats = simulate(&mut p, &t, t.warmup_len());
+        let h = stats.hit_rates();
+        let expect_h1 = c as f64 / synthetic::RANDOM_SMALL_BLOCKS as f64;
+        assert!(
+            (h[0] - expect_h1).abs() < 0.03,
+            "h1 = {:.3}, expected ~{expect_h1:.3}",
+            h[0]
+        );
+        assert!(h[1] < 0.05, "h2 = {:.3} should be tiny", h[1]);
+        assert!(h[2] < 0.02, "h3 = {:.3} should be tinier", h[2]);
+    }
+
+    #[test]
+    fn no_demotions_ever() {
+        let t = synthetic::zipf_small(20_000);
+        let mut p = IndLru::single_client(vec![500, 500]);
+        let stats = simulate(&mut p, &t, 0);
+        assert_eq!(stats.demotions_by_boundary, vec![0]);
+    }
+
+    #[test]
+    fn hit_in_client_after_lower_level_hit() {
+        // After a level-2 hit the block was also installed at the client.
+        let mut p = IndLru::single_client(vec![2, 4]);
+        let b = BlockId::new(7);
+        p.access(ClientId::SINGLE, b); // miss, installed everywhere
+        p.access(ClientId::SINGLE, BlockId::new(8));
+        p.access(ClientId::SINGLE, BlockId::new(9)); // 7 evicted from client
+        let out = p.access(ClientId::SINGLE, b);
+        assert_eq!(out.hit_level, Some(1));
+        let out = p.access(ClientId::SINGLE, b);
+        assert_eq!(out.hit_level, Some(0));
+    }
+
+    #[test]
+    fn clients_have_private_first_levels() {
+        let mut p = IndLru::multi_client(vec![4, 4], vec![8]);
+        let b = BlockId::new(1);
+        p.access(ClientId::new(0), b);
+        // Client 1 misses at its own cache but hits the shared server.
+        let out = p.access(ClientId::new(1), b);
+        assert_eq!(out.hit_level, Some(1));
+    }
+
+    #[test]
+    fn single_level_hierarchy_works() {
+        let mut p = IndLru::single_client(vec![2]);
+        assert_eq!(p.num_levels(), 1);
+        let out = p.access(ClientId::SINGLE, BlockId::new(1));
+        assert_eq!(out.hit_level, None);
+        assert!(out.demotions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown client")]
+    fn unknown_client_rejected() {
+        let mut p = IndLru::single_client(vec![2]);
+        let _ = p.access(ClientId::new(5), BlockId::new(1));
+    }
+}

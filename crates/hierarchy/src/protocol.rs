@@ -1,0 +1,64 @@
+//! The interface every multi-level caching protocol implements.
+
+use ulc_trace::{BlockId, ClientId};
+
+/// What one reference did, as reported by a protocol.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The level that satisfied the reference (0-indexed), or `None` for a
+    /// miss served from disk.
+    pub hit_level: Option<usize>,
+    /// Number of blocks demoted across each boundary while handling this
+    /// reference (`levels - 1` entries; entry `i` is the level `i` →
+    /// `i+1` boundary). Only *actual transfers* count — a block discarded
+    /// instead of moved is not a demotion.
+    pub demotions: Vec<u32>,
+}
+
+impl AccessOutcome {
+    /// A hit at `level` with no demotions, for `boundaries` boundaries.
+    pub fn hit(level: usize, boundaries: usize) -> Self {
+        AccessOutcome {
+            hit_level: Some(level),
+            demotions: vec![0; boundaries],
+        }
+    }
+
+    /// A miss with no demotions, for `boundaries` boundaries.
+    pub fn miss(boundaries: usize) -> Self {
+        AccessOutcome {
+            hit_level: None,
+            demotions: vec![0; boundaries],
+        }
+    }
+}
+
+/// A block placement and replacement protocol over a multi-level buffer
+/// cache hierarchy.
+///
+/// Implementations: [`crate::IndLru`] (independent per-level LRU),
+/// [`crate::UniLru`] (the Wong & Wilkes unified LRU / DEMOTE scheme),
+/// [`crate::LruMqServer`] (LRU client over an MQ server) and `ulc_core`'s
+/// ULC protocol.
+pub trait MultiLevelPolicy {
+    /// Handles one reference by `client` to `block`.
+    fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome;
+
+    /// Number of cache levels.
+    fn num_levels(&self) -> usize;
+
+    /// Short scheme name for reports (e.g. `"indLRU"`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_size_demotion_vector() {
+        assert_eq!(AccessOutcome::hit(1, 2).demotions, vec![0, 0]);
+        assert_eq!(AccessOutcome::miss(1).hit_level, None);
+        assert_eq!(AccessOutcome::miss(1).demotions.len(), 1);
+    }
+}

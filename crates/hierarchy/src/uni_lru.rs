@@ -1,0 +1,339 @@
+//! Unified LRU (`uniLRU`) — the Wong & Wilkes DEMOTE scheme [12].
+//!
+//! The hierarchy behaves as one long LRU stack: the client cache is the
+//! first portion, each lower cache the next. Caching is *exclusive*: a
+//! block promoted to the client leaves the lower level, and every block
+//! evicted from level `i` is **demoted** — physically transferred — into
+//! level `i+1`'s MRU position. This recovers the aggregate-size hit rate
+//! but, as §4.3 shows, at the price of a demotion accompanying nearly
+//! every reference on loop-heavy workloads.
+//!
+//! For the multi-client structure Wong & Wilkes supplement the basic
+//! scheme with adaptive insertion policies; [`UniLruVariant`] provides the
+//! basic MRU insertion, the LRU-insertion variant (demotions into a full
+//! server are dropped instead of transferred) and a per-client adaptive
+//! switch between them driven by observed demotion utility. The Figure 7
+//! harness runs every variant and reports the best, as the paper does.
+
+use crate::{AccessOutcome, MultiLevelPolicy};
+use std::collections::HashMap;
+use ulc_cache::LruCache;
+use ulc_trace::{BlockId, ClientId};
+
+/// Server insertion policy for demoted blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UniLruVariant {
+    /// Demoted blocks enter the next level at its MRU end — the basic
+    /// DEMOTE scheme.
+    MruInsert,
+    /// Demoted blocks enter at the LRU end. Into a full cache this is a
+    /// no-op, so the demotion transfer is skipped entirely — useful when a
+    /// client's demoted blocks are never re-read from the server.
+    LruInsert,
+    /// Per-client adaptive choice between the two, re-evaluated every
+    /// epoch from the server-hit utility of that client's demotions
+    /// (our rendering of Wong & Wilkes' adaptive cache insertion).
+    Adaptive,
+}
+
+/// Per-client adaptive state.
+#[derive(Clone, Debug, Default)]
+struct AdaptiveState {
+    demotions: u64,
+    demoted_hits: u64,
+    mru_mode: bool,
+    accesses: u64,
+}
+
+/// The unified LRU protocol.
+#[derive(Clone, Debug)]
+pub struct UniLru {
+    clients: Vec<LruCache<BlockId>>,
+    shared: Vec<LruCache<BlockId>>,
+    variant: UniLruVariant,
+    /// Which client last demoted each block resident in `shared[0]`
+    /// (adaptive bookkeeping).
+    demoted_by: HashMap<BlockId, u32>,
+    adaptive: Vec<AdaptiveState>,
+    epoch_len: u64,
+}
+
+impl UniLru {
+    /// A single-client hierarchy with basic MRU insertion:
+    /// `capacities[0]` is the client cache, the rest the lower levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or any capacity is zero.
+    pub fn single_client(capacities: Vec<usize>) -> Self {
+        assert!(!capacities.is_empty(), "at least one level is required");
+        UniLru::multi_client(
+            vec![capacities[0]],
+            capacities[1..].to_vec(),
+            UniLruVariant::MruInsert,
+        )
+    }
+
+    /// A multi-client hierarchy under `variant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client_capacities` is empty or any capacity is zero.
+    pub fn multi_client(
+        client_capacities: Vec<usize>,
+        shared_capacities: Vec<usize>,
+        variant: UniLruVariant,
+    ) -> Self {
+        assert!(
+            !client_capacities.is_empty(),
+            "at least one client is required"
+        );
+        let n = client_capacities.len();
+        UniLru {
+            clients: client_capacities.into_iter().map(LruCache::new).collect(),
+            shared: shared_capacities.into_iter().map(LruCache::new).collect(),
+            variant,
+            demoted_by: HashMap::new(),
+            adaptive: vec![
+                AdaptiveState {
+                    mru_mode: true,
+                    ..AdaptiveState::default()
+                };
+                n
+            ],
+            epoch_len: 5_000,
+        }
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> UniLruVariant {
+        self.variant
+    }
+
+    /// Whether client `c` currently inserts demoted blocks at the MRU end.
+    fn mru_mode(&self, c: usize) -> bool {
+        match self.variant {
+            UniLruVariant::MruInsert => true,
+            UniLruVariant::LruInsert => false,
+            UniLruVariant::Adaptive => self.adaptive[c].mru_mode,
+        }
+    }
+
+    /// Demotes `victim` (evicted from the client of `c`) into the shared
+    /// levels, cascading. Returns the per-boundary transfer counts.
+    fn demote_chain(&mut self, c: usize, victim: BlockId, demotions: &mut [u32]) {
+        if self.shared.is_empty() {
+            return; // single-level hierarchy: eviction is a discard
+        }
+        let mru = self.mru_mode(c);
+        let incoming = if mru {
+            demotions[0] += 1;
+            self.demoted_by.insert(victim, c as u32);
+            self.shared[0].insert_mru(victim)
+        } else {
+            let evicted = self.shared[0].insert_lru(victim);
+            if evicted != Some(victim) {
+                // The block actually entered the server.
+                demotions[0] += 1;
+                self.demoted_by.insert(victim, c as u32);
+            }
+            evicted
+        };
+        if let Some(mut w) = incoming {
+            if w != victim {
+                self.demoted_by.remove(&w);
+            }
+            // Cascade down the remaining levels with MRU insertion.
+            for (j, level) in self.shared.iter_mut().enumerate().skip(1) {
+                demotions[j] += 1;
+                match level.insert_mru(w) {
+                    Some(next) => w = next,
+                    None => return,
+                }
+            }
+            // Evicted from the last level: dropped.
+        }
+    }
+
+    fn maybe_flip_epoch(&mut self, c: usize) {
+        if self.variant != UniLruVariant::Adaptive {
+            return;
+        }
+        let st = &mut self.adaptive[c];
+        st.accesses += 1;
+        if st.accesses.is_multiple_of(self.epoch_len) {
+            // Keep MRU insertion only if demoted blocks earn server hits.
+            let utility = if st.demotions == 0 {
+                1.0
+            } else {
+                st.demoted_hits as f64 / st.demotions as f64
+            };
+            st.mru_mode = utility >= 0.05;
+            st.demotions = 0;
+            st.demoted_hits = 0;
+        }
+    }
+}
+
+impl MultiLevelPolicy for UniLru {
+    fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        let boundaries = self.num_levels() - 1;
+        let c = client.as_usize();
+        assert!(c < self.clients.len(), "unknown client {client}");
+        self.maybe_flip_epoch(c);
+        let mut outcome = AccessOutcome::miss(boundaries);
+
+        if self.clients[c].contains(&block) {
+            self.clients[c].access(block); // refresh recency only
+            outcome.hit_level = Some(0);
+            return outcome;
+        }
+        // Search the lower levels; promotion is exclusive.
+        for i in 0..self.shared.len() {
+            if self.shared[i].contains(&block) {
+                self.shared[i].remove(&block);
+                if i == 0 {
+                    if let Some(owner) = self.demoted_by.remove(&block) {
+                        if self.variant == UniLruVariant::Adaptive {
+                            self.adaptive[owner as usize].demoted_hits += 1;
+                        }
+                    }
+                }
+                outcome.hit_level = Some(i + 1);
+                break;
+            }
+        }
+        // Install at the client; the client's victim is demoted.
+        if let Some(victim) = self.clients[c].insert_mru(block) {
+            if self.variant == UniLruVariant::Adaptive {
+                self.adaptive[c].demotions += 1;
+            }
+            self.demote_chain(c, victim, &mut outcome.demotions);
+        }
+        outcome
+    }
+
+    fn num_levels(&self) -> usize {
+        1 + self.shared.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "uniLRU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, IndLru};
+    use ulc_trace::synthetic;
+
+    #[test]
+    fn behaves_like_one_big_lru_stack() {
+        // A loop over L blocks with aggregate capacity >= L hits fully
+        // (after warm-up), even though no single level can hold the loop.
+        let t = synthetic::cs(50_000); // 2500-block loop
+        let mut p = UniLru::single_client(vec![1000, 1000, 1000]);
+        let stats = simulate(&mut p, &t, t.warmup_len());
+        assert!(
+            stats.total_hit_rate() > 0.99,
+            "aggregate hit rate = {:.3}",
+            stats.total_hit_rate()
+        );
+        // The hits land exactly where recency 2499 falls: level 3.
+        let h = stats.hit_rates();
+        assert!(h[0] < 0.01 && h[1] < 0.01 && h[2] > 0.98, "h = {h:?}");
+    }
+
+    #[test]
+    fn loop_demotion_rate_is_total() {
+        // §4.3's tpcc1 signature: on a looping workload every reference
+        // incurs a first-boundary demotion under uniLRU.
+        let t = synthetic::cs(50_000);
+        let mut p = UniLru::single_client(vec![1000, 1000, 1000]);
+        let stats = simulate(&mut p, &t, t.warmup_len());
+        let d = stats.demotion_rates();
+        assert!(d[0] > 0.99, "b1 demotion rate = {:.3}", d[0]);
+    }
+
+    #[test]
+    fn beats_ind_lru_hit_rate_on_random() {
+        // §4.3: uniLRU makes low levels contribute their full share on the
+        // random workload.
+        let t = synthetic::random_small(100_000);
+        let caps = vec![1000usize, 1000, 1000];
+        let mut uni = UniLru::single_client(caps.clone());
+        let mut ind = IndLru::single_client(caps);
+        let su = simulate(&mut uni, &t, t.warmup_len());
+        let si = simulate(&mut ind, &t, t.warmup_len());
+        // uniLRU: each level's hit rate ~ capacity/universe = 20%.
+        let h = su.hit_rates();
+        for (i, &hi) in h.iter().enumerate() {
+            assert!(
+                (hi - 0.2).abs() < 0.03,
+                "uniLRU level {} hit rate = {:.3}",
+                i + 1,
+                hi
+            );
+        }
+        assert!(su.total_hit_rate() > si.total_hit_rate() + 0.2);
+    }
+
+    #[test]
+    fn exclusive_promotion_removes_from_server() {
+        let mut p = UniLru::single_client(vec![1, 2]);
+        let a = BlockId::new(1);
+        let b = BlockId::new(2);
+        p.access(ClientId::SINGLE, a); // a at client
+        p.access(ClientId::SINGLE, b); // b at client, a demoted to server
+        let out = p.access(ClientId::SINGLE, a); // server hit, promoted
+        assert_eq!(out.hit_level, Some(1));
+        assert_eq!(out.demotions, vec![1]); // b demoted to make room
+        // a must now be gone from the server (exclusive).
+        let out = p.access(ClientId::SINGLE, a);
+        assert_eq!(out.hit_level, Some(0));
+    }
+
+    #[test]
+    fn lru_insert_variant_cuts_demotion_traffic_on_a_big_loop() {
+        // Loop (2500) ≫ client+server (1000): MRU insertion demotes on
+        // every reference for zero hits; LRU insertion self-evicts most
+        // demotions (no transfer) and freezes a protected set in the
+        // server that even earns hits.
+        let t = synthetic::cs(30_000);
+        let mut mru = UniLru::multi_client(vec![500], vec![500], UniLruVariant::MruInsert);
+        let mut lru = UniLru::multi_client(vec![500], vec![500], UniLruVariant::LruInsert);
+        let sm = simulate(&mut mru, &t, t.warmup_len());
+        let sl = simulate(&mut lru, &t, t.warmup_len());
+        assert!(sm.demotion_rates()[0] > 0.9, "mru = {:?}", sm.demotion_rates());
+        assert!(
+            sl.demotion_rates()[0] < 0.5 * sm.demotion_rates()[0],
+            "lru-insert rate = {:.3}",
+            sl.demotion_rates()[0]
+        );
+        assert!(sl.hit_rates()[1] >= sm.hit_rates()[1]);
+    }
+
+    #[test]
+    fn adaptive_converges_to_lru_insert_on_useless_demotions() {
+        // A loop far larger than client+server: demoted blocks never hit.
+        let t = synthetic::cs(60_000);
+        let mut p = UniLru::multi_client(vec![100], vec![100], UniLruVariant::Adaptive);
+        let stats = simulate(&mut p, &t, 30_000);
+        assert!(
+            stats.demotion_rates()[0] < 0.05,
+            "adaptive should stop demoting, rate = {:.3}",
+            stats.demotion_rates()[0]
+        );
+    }
+
+    #[test]
+    fn adaptive_keeps_mru_when_demotions_pay() {
+        // sprite re-reads demoted blocks from the server constantly.
+        let t = synthetic::sprite(40_000);
+        let mut p = UniLru::multi_client(vec![200], vec![1500], UniLruVariant::Adaptive);
+        let stats = simulate(&mut p, &t, t.warmup_len());
+        assert!(stats.hit_rates()[1] > 0.2, "server should earn hits");
+        assert!(stats.demotion_rates()[0] > 0.3);
+    }
+}

@@ -1,0 +1,503 @@
+//! Trace analysis under the four measures — the engine behind Figures 2
+//! and 3.
+//!
+//! For each measure an ascending ordered list of the accessed blocks is
+//! maintained across the trace. Per reference we record which decile
+//! *segment* of the list the block was found in (Figure 2) and how many
+//! blocks crossed each segment boundary as the list was updated (Figure 3).
+//!
+//! The list is segmented against the trace's *full* length (total distinct
+//! blocks), so segment boundaries are fixed rank positions. A boundary
+//! crossing is counted once per block per reference whenever the block's
+//! rank moves from one side of the boundary to the other.
+
+use crate::{MeasureKind, SegmentReport, INFINITE};
+use std::collections::HashMap;
+use ulc_cache::{lru_stack_distances, next_use_times};
+use ulc_trace::Trace;
+
+/// Fixed rank boundaries for `segments` segments over `d` blocks.
+#[derive(Clone, Debug)]
+pub(crate) struct Boundaries {
+    ranks: Vec<usize>,
+    segments: usize,
+    d: usize,
+}
+
+impl Boundaries {
+    pub(crate) fn new(segments: usize, d: usize) -> Self {
+        assert!(segments >= 2, "need at least two segments");
+        assert!(
+            d >= segments,
+            "trace must touch at least as many blocks as there are segments"
+        );
+        Boundaries {
+            ranks: (0..segments - 1)
+                .map(|k| ((k + 1) * d).div_ceil(segments))
+                .collect(),
+            segments,
+            d,
+        }
+    }
+
+    /// Which segment a list rank falls into.
+    pub(crate) fn segment_of(&self, rank: usize) -> usize {
+        (rank * self.segments / self.d).min(self.segments - 1)
+    }
+
+    /// Indices of the boundaries strictly between ranks `a` and `b`
+    /// (crossed by a block moving from rank `a` to rank `b`).
+    pub(crate) fn crossed(&self, a: usize, b: usize) -> std::ops::Range<usize> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let start = self.ranks.partition_point(|&r| r <= lo);
+        let end = self.ranks.partition_point(|&r| r <= hi);
+        start..end
+    }
+}
+
+/// Densely renumbers the blocks of a trace for fast array indexing.
+fn densify(trace: &Trace) -> (Vec<u32>, usize) {
+    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut out = Vec::with_capacity(trace.len());
+    for r in trace {
+        let next_id = ids.len() as u32;
+        out.push(*ids.entry(r.block.raw()).or_insert(next_id));
+    }
+    let d = ids.len();
+    (out, d)
+}
+
+/// Analyses `trace` under `kind` with `segments` list segments (the paper
+/// uses 10).
+///
+/// # Panics
+///
+/// Panics if the trace touches fewer distinct blocks than `segments`.
+///
+/// # Examples
+///
+/// ```
+/// use ulc_measures::{analyze, MeasureKind};
+/// use ulc_trace::synthetic;
+///
+/// let trace = synthetic::sprite(20_000);
+/// let report = analyze(&trace, MeasureKind::R, 10);
+/// // sprite is LRU-friendly: recency concentrates hits in the head.
+/// assert!(report.reference_ratios()[0] > 0.3);
+/// assert!(report.cumulative_ratios()[2] > 0.6);
+/// ```
+pub fn analyze(trace: &Trace, kind: MeasureKind, segments: usize) -> SegmentReport {
+    let (blocks, d) = densify(trace);
+    let bounds = Boundaries::new(segments, d);
+    match kind {
+        MeasureKind::R => analyze_recency(&blocks, &bounds),
+        MeasureKind::Nd => {
+            let next = next_use_times(&blocks);
+            analyze_keyed(&blocks, &next, &bounds)
+        }
+        MeasureKind::Nld => {
+            let nld: Vec<u64> = next_locality_values(&blocks);
+            analyze_keyed(&blocks, &nld, &bounds)
+        }
+        MeasureKind::LldR => analyze_lld_r(&blocks, &bounds),
+    }
+}
+
+/// Analyses `trace` under all four measures.
+pub fn analyze_all(trace: &Trace, segments: usize) -> Vec<(MeasureKind, SegmentReport)> {
+    MeasureKind::ALL
+        .iter()
+        .map(|&m| (m, analyze(trace, m, segments)))
+        .collect()
+}
+
+/// NLD value of each reference: the recency at which the block will be
+/// referenced next time, or [`INFINITE`].
+fn next_locality_values(blocks: &[u32]) -> Vec<u64> {
+    ulc_cache::next_locality_distances(blocks)
+        .into_iter()
+        .map(|o| o.map_or(INFINITE, |v| v as u64))
+        .collect()
+}
+
+/// R: the list is the LRU stack itself.
+fn analyze_recency(blocks: &[u32], bounds: &Boundaries) -> SegmentReport {
+    let mut report = SegmentReport::new(bounds.segments, bounds.d);
+    let mut list: Vec<u32> = Vec::with_capacity(bounds.d);
+    for &b in blocks {
+        report.total_references += 1;
+        match list.iter().position(|&x| x == b) {
+            Some(p) => {
+                report.reference_counts[bounds.segment_of(p)] += 1;
+                list.remove(p);
+                // Mover and one shifted block cross each boundary in (0, p].
+                for k in bounds.crossed(0, p) {
+                    report.boundary_movements[k] += 2;
+                }
+                list.insert(0, b);
+            }
+            None => {
+                report.cold_references += 1;
+                // Every resident block shifts down by one; one block
+                // crosses each boundary ≤ old length.
+                let n_old = list.len();
+                for k in bounds.crossed(0, n_old) {
+                    report.boundary_movements[k] += 1;
+                }
+                list.insert(0, b);
+            }
+        }
+    }
+    report
+}
+
+/// ND / NLD: the list is sorted ascending by a per-reference value assigned
+/// when the block is accessed.
+///
+/// Ties are broken by a *static* key (the block's first-touch id). A static
+/// tie-break matters: on a pure loop every block carries the same NLD, and
+/// a stable assignment keeps all of them in place (zero boundary
+/// movements), exactly the stability the paper credits NLD and LLD-R with
+/// in Figure 3. Breaking ties by recency would silently re-derive the R
+/// list inside the ties and destroy that stability.
+fn analyze_keyed(blocks: &[u32], values: &[u64], bounds: &Boundaries) -> SegmentReport {
+    let mut report = SegmentReport::new(bounds.segments, bounds.d);
+    let mut list: Vec<(u32, (u64, u32))> = Vec::with_capacity(bounds.d);
+    for (i, &b) in blocks.iter().enumerate() {
+        report.total_references += 1;
+        let key = (values[i], b);
+        match list.iter().position(|&(x, _)| x == b) {
+            Some(p) => {
+                report.reference_counts[bounds.segment_of(p)] += 1;
+                let old_key = list[p].1;
+                if old_key == key {
+                    continue; // value unchanged: the block stays put
+                }
+                list.remove(p);
+                let q = list.partition_point(|&(_, k)| k < key);
+                list.insert(q, (b, key));
+                for k in bounds.crossed(p.min(q), p.max(q)) {
+                    report.boundary_movements[k] += 2;
+                }
+            }
+            None => {
+                report.cold_references += 1;
+                let n_old = list.len();
+                let q = list.partition_point(|&(_, k)| k < key);
+                list.insert(q, (b, key));
+                for k in bounds.crossed(q, n_old) {
+                    report.boundary_movements[k] += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// LLD-R: value = max(LLD, R). Recency changes continuously, so the order
+/// is re-derived per reference as a pure function of the current state —
+/// ascending by value with ties broken by static block id (see
+/// `analyze_keyed` for why ties must be static) — and crossings are counted
+/// from rank differences.
+fn analyze_lld_r(blocks: &[u32], bounds: &Boundaries) -> SegmentReport {
+    let mut report = SegmentReport::new(bounds.segments, bounds.d);
+    let mut lru: Vec<u32> = Vec::with_capacity(bounds.d);
+    let mut lld: Vec<u64> = vec![INFINITE; bounds.d];
+    let mut prev_rank: Vec<u32> = vec![u32::MAX; bounds.d];
+    let mut order: Vec<(u64, u32)> = Vec::with_capacity(bounds.d);
+    let mut rank_of: Vec<u32> = vec![u32::MAX; bounds.d];
+
+    let settle = |lru: &Vec<u32>,
+                      lld: &Vec<u64>,
+                      prev_rank: &mut Vec<u32>,
+                      order: &mut Vec<(u64, u32)>,
+                      rank_of: &mut Vec<u32>,
+                      report: &mut SegmentReport| {
+        order.clear();
+        for (pos, &b) in lru.iter().enumerate() {
+            order.push((lld[b as usize].max(pos as u64), b));
+        }
+        // Equal values keep their static id order: ties never reshuffle.
+        order.sort_unstable();
+        for (rank, &(_, b)) in order.iter().enumerate() {
+            rank_of[b as usize] = rank as u32;
+            let old = prev_rank[b as usize];
+            if old != u32::MAX && old != rank as u32 {
+                for k in bounds.crossed(old as usize, rank) {
+                    report.boundary_movements[k] += 1;
+                }
+            }
+            prev_rank[b as usize] = rank as u32;
+        }
+    };
+
+    for &b in blocks {
+        // Order *before* this reference: the segment the reference hits,
+        // and the crossings caused by the previous reference.
+        settle(&lru, &lld, &mut prev_rank, &mut order, &mut rank_of, &mut report);
+        report.total_references += 1;
+        match lru.iter().position(|&x| x == b) {
+            Some(p) => {
+                report.reference_counts[bounds.segment_of(rank_of[b as usize] as usize)] += 1;
+                lld[b as usize] = p as u64;
+                lru.remove(p);
+            }
+            None => {
+                report.cold_references += 1;
+                lld[b as usize] = INFINITE;
+            }
+        }
+        lru.insert(0, b);
+    }
+    // Account for the final reference's crossings.
+    settle(&lru, &lld, &mut prev_rank, &mut order, &mut rank_of, &mut report);
+    report
+}
+
+/// Brute-force reference implementations used to validate the fast ones.
+///
+/// Per reference, every block's measure value is recomputed from scratch,
+/// the whole list is re-sorted with the same tie disciplines as the fast
+/// implementations, and crossings are counted from rank differences.
+pub mod reference {
+    use super::*;
+
+    /// Analyses `trace` under `kind` by brute force. Semantics are
+    /// identical to [`analyze`]; cost is O(refs × blocks log blocks).
+    pub fn analyze_slow(trace: &Trace, kind: MeasureKind, segments: usize) -> SegmentReport {
+        let (blocks, d) = densify(trace);
+        let bounds = Boundaries::new(segments, d);
+        let nd = next_use_times(&blocks);
+        let nld = next_locality_values(&blocks);
+        let mut report = SegmentReport::new(segments, d);
+
+        // Per-block state.
+        let mut in_list = vec![false; d];
+        let mut lru: Vec<u32> = Vec::new();
+        let mut lld = vec![INFINITE; d];
+        let mut keyed: Vec<(u64, u64)> = vec![(0, 0); d]; // (value, seq) for ND/NLD
+        let mut prev_rank: HashMap<u32, usize> = HashMap::new();
+
+        let order_now = |lru: &Vec<u32>, lld: &Vec<u64>, keyed: &Vec<(u64, u64)>| -> Vec<u32> {
+            let mut entries: Vec<((u64, u64), u32)> = lru
+                .iter()
+                .enumerate()
+                .map(|(pos, &b)| {
+                    let key = match kind {
+                        MeasureKind::R => (pos as u64, 0),
+                        MeasureKind::Nd | MeasureKind::Nld => keyed[b as usize],
+                        MeasureKind::LldR => (lld[b as usize].max(pos as u64), b as u64),
+                    };
+                    (key, b)
+                })
+                .collect();
+            entries.sort_by_key(|&(k, _)| k);
+            entries.into_iter().map(|(_, b)| b).collect()
+        };
+
+        let count_crossings =
+            |order: &[u32], prev_rank: &mut HashMap<u32, usize>, report: &mut SegmentReport| {
+                for (rank, &b) in order.iter().enumerate() {
+                    if let Some(&old) = prev_rank.get(&b) {
+                        if old != rank {
+                            for k in bounds.crossed(old, rank) {
+                                report.boundary_movements[k] += 1;
+                            }
+                        }
+                    }
+                    prev_rank.insert(b, rank);
+                }
+            };
+
+        for (i, &b) in blocks.iter().enumerate() {
+            let order = order_now(&lru, &lld, &keyed);
+            count_crossings(&order, &mut prev_rank, &mut report);
+            report.total_references += 1;
+            let rank = order.iter().position(|&x| x == b);
+            match rank {
+                Some(r) if in_list[b as usize] => {
+                    report.reference_counts[bounds.segment_of(r)] += 1;
+                }
+                _ => report.cold_references += 1,
+            }
+            // Update state exactly as the fast implementations do.
+            let pos = lru.iter().position(|&x| x == b);
+            lld[b as usize] = pos.map_or(INFINITE, |p| p as u64);
+            if let Some(p) = pos {
+                lru.remove(p);
+            }
+            lru.insert(0, b);
+            in_list[b as usize] = true;
+            let value = match kind {
+                MeasureKind::Nd => nd[i],
+                MeasureKind::Nld => nld[i],
+                _ => 0,
+            };
+            keyed[b as usize] = (value, b as u64);
+        }
+        let order = order_now(&lru, &lld, &keyed);
+        count_crossings(&order, &mut prev_rank, &mut report);
+        report
+    }
+}
+
+/// The per-reference recencies of a trace — a convenience re-export used by
+/// examples: `recencies(trace)[i]` is the LRU stack distance of reference
+/// `i`, or `None` on first access.
+pub fn recencies(trace: &Trace) -> Vec<Option<usize>> {
+    let (blocks, _) = densify(trace);
+    lru_stack_distances(&blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulc_trace::synthetic;
+
+    fn tiny_trace() -> Trace {
+        // Deterministic mix over 12 blocks (>= 10 segments needed).
+        let ids: Vec<u64> = vec![
+            0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0, 1, 2, 0, 1, 5, 9, 11, 3, 3, 7, 0, 4, 8, 2,
+            6, 10, 1, 0, 5,
+        ];
+        Trace::from_blocks(ids.into_iter().map(ulc_trace::BlockId::new))
+    }
+
+    #[test]
+    fn boundaries_partition_ranks() {
+        let b = Boundaries::new(10, 100);
+        assert_eq!(b.segment_of(0), 0);
+        assert_eq!(b.segment_of(9), 0);
+        assert_eq!(b.segment_of(10), 1);
+        assert_eq!(b.segment_of(99), 9);
+        assert_eq!(b.segment_of(150), 9); // clamped
+        assert_eq!(b.ranks, vec![10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn crossed_ranges() {
+        let b = Boundaries::new(10, 100);
+        assert_eq!(b.crossed(0, 5), 0..0);
+        assert_eq!(b.crossed(0, 10), 0..1);
+        assert_eq!(b.crossed(5, 25), 0..2);
+        assert_eq!(b.crossed(25, 5), 0..2); // symmetric
+        assert!(b.crossed(10, 10).is_empty());
+        assert!(b.crossed(95, 99).is_empty());
+    }
+
+    #[test]
+    fn fast_matches_slow_on_tiny_trace() {
+        let t = tiny_trace();
+        for kind in MeasureKind::ALL {
+            let fast = analyze(&t, kind, 4);
+            let slow = reference::analyze_slow(&t, kind, 4);
+            assert_eq!(fast, slow, "measure {kind}");
+        }
+    }
+
+    #[test]
+    fn fast_matches_slow_on_small_synthetic_traces() {
+        let traces = vec![
+            ("loop", synthetic::cs(600)),
+            ("zipf", synthetic::zipf_small(600)),
+            ("sprite", synthetic::sprite(600)),
+        ];
+        for (name, t) in traces {
+            for kind in MeasureKind::ALL {
+                let fast = analyze(&t, kind, 10);
+                let slow = reference::analyze_slow(&t, kind, 10);
+                assert_eq!(fast, slow, "{name} under {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn totals_are_conserved() {
+        let t = synthetic::multi_small(3_000);
+        for kind in MeasureKind::ALL {
+            let r = analyze(&t, kind, 10);
+            let seg_total: u64 = r.reference_counts.iter().sum();
+            assert_eq!(seg_total + r.cold_references, r.total_references);
+            assert_eq!(r.total_references, 3_000);
+        }
+    }
+
+    #[test]
+    fn nd_is_optimal_on_a_loop() {
+        // On a pure loop ND concentrates hits in the head segments and R
+        // pushes everything to the tail (§2.2 observation 1).
+        let t = synthetic::cs(6 * synthetic::CS_BLOCKS as usize);
+        let nd = analyze(&t, MeasureKind::Nd, 10);
+        let r = analyze(&t, MeasureKind::R, 10);
+        let nd_head: f64 = nd.cumulative_ratios()[4];
+        let r_head: f64 = r.cumulative_ratios()[4];
+        assert!(
+            nd_head > 0.4,
+            "ND head share = {nd_head}; should capture loop hits early"
+        );
+        // A pure loop re-references at recency D-1: all R hits in the last
+        // segment.
+        assert!(r_head < 0.01, "R head share = {r_head}");
+        assert!(r.reference_ratios()[9] > 0.5);
+    }
+
+    #[test]
+    fn lld_r_is_stabler_than_r_on_a_loop() {
+        let t = synthetic::glimpse(30_000);
+        let r = analyze(&t, MeasureKind::R, 10);
+        let lld_r = analyze(&t, MeasureKind::LldR, 10);
+        assert!(
+            lld_r.mean_movement_ratio() < r.mean_movement_ratio() / 2.0,
+            "LLD-R {} vs R {}",
+            lld_r.mean_movement_ratio(),
+            r.mean_movement_ratio()
+        );
+    }
+
+    #[test]
+    fn r_wins_head_share_on_lru_friendly_trace() {
+        let t = synthetic::sprite(20_000);
+        let r = analyze(&t, MeasureKind::R, 10);
+        let ratios = r.reference_ratios();
+        // Temporally-clustered: hits decay monotonically with recency.
+        assert!(ratios[0] > 0.3, "sprite under R: head = {}", ratios[0]);
+        assert!(ratios[0] > 5.0 * ratios[5], "ratios = {ratios:?}");
+        for w in ratios.windows(2) {
+            assert!(w[0] >= w[1], "ratios should decay: {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn analyze_all_returns_four_reports() {
+        let t = tiny_trace();
+        let all = analyze_all(&t, 4);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].0, MeasureKind::Nd);
+    }
+
+    #[test]
+    fn recencies_of_repeat() {
+        let t = Trace::from_blocks([1u64, 1].map(ulc_trace::BlockId::new));
+        assert_eq!(recencies(&t), vec![None, Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many blocks")]
+    fn too_few_blocks_rejected() {
+        let t = Trace::from_blocks([1u64, 2].map(ulc_trace::BlockId::new));
+        let _ = analyze(&t, MeasureKind::R, 10);
+    }
+
+    #[test]
+    fn lld_r_value_uses_max_of_lld_and_recency() {
+        // Block 0 is accessed at recency 2 (LLD = 2). After 3 more distinct
+        // accesses its recency exceeds LLD, so its LLD-R grows with R:
+        // under pure LLD it would stay put; the measured movement at the
+        // deep boundaries shows it moved.
+        let ids: Vec<u64> = vec![0, 1, 2, 0, 3, 4, 5, 6, 7, 8, 9, 10, 11, 1];
+        let t = Trace::from_blocks(ids.into_iter().map(ulc_trace::BlockId::new));
+        let fast = analyze(&t, MeasureKind::LldR, 4);
+        let slow = reference::analyze_slow(&t, MeasureKind::LldR, 4);
+        assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,86 @@
+//! The four locality-strength measures of §2.1.
+
+use std::fmt;
+
+/// Sentinel value for "infinitely far" (no next reference / no history).
+pub const INFINITE: u64 = u64::MAX;
+
+/// A criterion for ranking accessed blocks by locality strength (§2.1).
+///
+/// Each measure orders the accessed blocks ascending; blocks near the head
+/// of the list have the strongest locality and belong in the highest cache
+/// levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MeasureKind {
+    /// **ND** — next distance: time until the block's next reference. The
+    /// OPT criterion; offline only.
+    Nd,
+    /// **R** — recency: the block's current LRU stack position. The LRU
+    /// criterion; online.
+    R,
+    /// **NLD** — next locality distance: the recency at which the block
+    /// will be referenced next time. Offline only; stable between the
+    /// block's own references.
+    Nld,
+    /// **LLD-R** — max(last locality distance, recency): the online
+    /// simulation of NLD that ULC is built on.
+    LldR,
+}
+
+impl MeasureKind {
+    /// All four measures, in the paper's order.
+    pub const ALL: [MeasureKind; 4] = [
+        MeasureKind::Nd,
+        MeasureKind::R,
+        MeasureKind::Nld,
+        MeasureKind::LldR,
+    ];
+
+    /// The paper's name for the measure.
+    pub fn name(self) -> &'static str {
+        match self {
+            MeasureKind::Nd => "ND",
+            MeasureKind::R => "R",
+            MeasureKind::Nld => "NLD",
+            MeasureKind::LldR => "LLD-R",
+        }
+    }
+
+    /// Whether the measure can be computed without future knowledge
+    /// (Table 1's "on-line measures" row).
+    pub fn is_online(self) -> bool {
+        matches!(self, MeasureKind::R | MeasureKind::LldR)
+    }
+}
+
+impl fmt::Display for MeasureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = MeasureKind::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, ["ND", "R", "NLD", "LLD-R"]);
+    }
+
+    #[test]
+    fn online_measures_are_r_and_lld_r() {
+        assert!(!MeasureKind::Nd.is_online());
+        assert!(MeasureKind::R.is_online());
+        assert!(!MeasureKind::Nld.is_online());
+        assert!(MeasureKind::LldR.is_online());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for m in MeasureKind::ALL {
+            assert_eq!(format!("{m}"), m.name());
+        }
+    }
+}

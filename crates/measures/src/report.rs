@@ -1,0 +1,184 @@
+//! Segment statistics reported by a measure analysis.
+
+use std::fmt;
+
+/// Per-segment reference and movement statistics for one locality measure
+/// on one trace — the data behind Figures 2 and 3 of the paper.
+///
+/// The ordered list of accessed blocks is divided into `segments` equal
+/// parts (the paper uses 10). `reference_counts[s]` is the number of
+/// references that found their block in segment `s`;
+/// `boundary_movements[k]` is the number of times any block crossed the
+/// boundary between segments `k` and `k+1` as the list was updated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentReport {
+    /// Number of segments the list was divided into.
+    pub segments: usize,
+    /// References that hit each segment (`segments` entries).
+    pub reference_counts: Vec<u64>,
+    /// Block movements across each boundary (`segments - 1` entries).
+    pub boundary_movements: Vec<u64>,
+    /// References to blocks not yet in the list (first accesses).
+    pub cold_references: u64,
+    /// Total references analysed.
+    pub total_references: u64,
+    /// Distinct blocks (= full list length used for segmentation).
+    pub distinct_blocks: usize,
+}
+
+impl SegmentReport {
+    /// Creates an empty report for `segments` segments over
+    /// `distinct_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments < 2`.
+    pub fn new(segments: usize, distinct_blocks: usize) -> Self {
+        assert!(segments >= 2, "need at least two segments");
+        SegmentReport {
+            segments,
+            reference_counts: vec![0; segments],
+            boundary_movements: vec![0; segments - 1],
+            cold_references: 0,
+            total_references: 0,
+            distinct_blocks,
+        }
+    }
+
+    /// Figure 2's y-axis: per-segment reference ratios (hits in the segment
+    /// over all references).
+    pub fn reference_ratios(&self) -> Vec<f64> {
+        let t = self.total_references.max(1) as f64;
+        self.reference_counts
+            .iter()
+            .map(|&c| c as f64 / t)
+            .collect()
+    }
+
+    /// Figure 2's overlay: cumulative reference ratios for the first
+    /// `1..=segments` segments.
+    pub fn cumulative_ratios(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.reference_ratios()
+            .iter()
+            .map(|r| {
+                acc += r;
+                acc
+            })
+            .collect()
+    }
+
+    /// Figure 3's y-axis: per-boundary movement ratios (crossings at the
+    /// boundary over all references).
+    pub fn movement_ratios(&self) -> Vec<f64> {
+        let t = self.total_references.max(1) as f64;
+        self.boundary_movements
+            .iter()
+            .map(|&c| c as f64 / t)
+            .collect()
+    }
+
+    /// A scalar distinction score: the cumulative reference ratio captured
+    /// by the first third of the segments. Higher means locality strengths
+    /// are better concentrated at the head of the list.
+    pub fn distinction_score(&self) -> f64 {
+        let third = (self.segments / 3).max(1);
+        self.cumulative_ratios()[third - 1]
+    }
+
+    /// A scalar stability score: the mean movement ratio over all
+    /// boundaries. Lower means the distinction is more stable (cheaper to
+    /// maintain across cache levels).
+    pub fn mean_movement_ratio(&self) -> f64 {
+        let m = self.movement_ratios();
+        if m.is_empty() {
+            0.0
+        } else {
+            m.iter().sum::<f64>() / m.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for SegmentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} refs over {} blocks ({} cold)",
+            self.total_references, self.distinct_blocks, self.cold_references
+        )?;
+        write!(f, "  ref ratios:  ")?;
+        for r in self.reference_ratios() {
+            write!(f, "{:6.3}", r)?;
+        }
+        writeln!(f)?;
+        write!(f, "  move ratios: ")?;
+        for r in self.movement_ratios() {
+            write!(f, "{:6.3}", r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SegmentReport {
+        SegmentReport {
+            segments: 4,
+            reference_counts: vec![40, 30, 20, 10],
+            boundary_movements: vec![5, 10, 15],
+            cold_references: 0,
+            total_references: 100,
+            distinct_blocks: 40,
+        }
+    }
+
+    #[test]
+    fn ratios_divide_by_total() {
+        let r = sample().reference_ratios();
+        assert_eq!(r, vec![0.4, 0.3, 0.2, 0.1]);
+    }
+
+    #[test]
+    fn cumulative_is_prefix_sum() {
+        let c = sample().cumulative_ratios();
+        assert!((c[0] - 0.4).abs() < 1e-12);
+        assert!((c[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn movement_ratios_divide_by_total() {
+        let m = sample().movement_ratios();
+        assert_eq!(m, vec![0.05, 0.10, 0.15]);
+    }
+
+    #[test]
+    fn scores() {
+        let s = sample();
+        // 4 segments / 3 → first segment only.
+        assert!((s.distinction_score() - 0.4).abs() < 1e-12);
+        assert!((s.mean_movement_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let s = SegmentReport::new(10, 0);
+        assert_eq!(s.reference_ratios().len(), 10);
+        assert_eq!(s.movement_ratios().len(), 9);
+        assert_eq!(s.mean_movement_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two segments")]
+    fn one_segment_rejected() {
+        let _ = SegmentReport::new(1, 10);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let text = format!("{}", sample());
+        assert!(text.contains("100 refs"));
+        assert!(text.contains("ref ratios"));
+    }
+}

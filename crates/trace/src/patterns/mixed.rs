@@ -1,0 +1,127 @@
+//! Mixed access pattern (the paper's `multi` trace).
+//!
+//! "Trace multi has an access pattern mixed with sequential, looping and
+//! probabilistic references" (§2.2). A [`MixedPattern`] cycles through a
+//! list of phases, each of which runs an inner pattern for a fixed number of
+//! references before handing over to the next.
+
+use super::Pattern;
+use crate::BlockId;
+
+/// One phase of a mixed workload: run `pattern` for `len` references.
+pub struct Phase {
+    /// The pattern active during this phase.
+    pub pattern: Box<dyn Pattern>,
+    /// How many references the phase lasts.
+    pub len: usize,
+}
+
+impl Phase {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(pattern: Box<dyn Pattern>, len: usize) -> Self {
+        assert!(len > 0, "phase length must be positive");
+        Phase { pattern, len }
+    }
+}
+
+impl std::fmt::Debug for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phase").field("len", &self.len).finish()
+    }
+}
+
+/// Cycles through phases, producing each phase's stream in turn.
+///
+/// # Examples
+///
+/// ```
+/// use ulc_trace::patterns::{LoopingPattern, MixedPattern, Pattern, Phase, SequentialPattern};
+///
+/// let mut p = MixedPattern::new(vec![
+///     Phase::new(Box::new(LoopingPattern::new(2)), 2),
+///     Phase::new(Box::new(SequentialPattern::new(100, 10)), 3),
+/// ]);
+/// let ids: Vec<u64> = (0..7).map(|_| p.next_block().raw()).collect();
+/// assert_eq!(ids, [0, 1, 100, 101, 102, 0, 1]);
+/// ```
+#[derive(Debug)]
+pub struct MixedPattern {
+    phases: Vec<Phase>,
+    current: usize,
+    emitted: usize,
+}
+
+impl MixedPattern {
+    /// Creates a mixed pattern from its phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "at least one phase is required");
+        MixedPattern {
+            phases,
+            current: 0,
+            emitted: 0,
+        }
+    }
+}
+
+impl Pattern for MixedPattern {
+    fn next_block(&mut self) -> BlockId {
+        if self.emitted == self.phases[self.current].len {
+            self.emitted = 0;
+            self.current = (self.current + 1) % self.phases.len();
+        }
+        self.emitted += 1;
+        self.phases[self.current].pattern.next_block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{LoopingPattern, UniformPattern};
+
+    #[test]
+    fn phases_alternate() {
+        let mut p = MixedPattern::new(vec![
+            Phase::new(Box::new(LoopingPattern::new(3)), 3),
+            Phase::new(Box::new(LoopingPattern::new(2).with_base(10)), 2),
+        ]);
+        let ids: Vec<u64> = (0..10).map(|_| p.next_block().raw()).collect();
+        assert_eq!(ids, [0, 1, 2, 10, 11, 0, 1, 2, 10, 11]);
+    }
+
+    #[test]
+    fn inner_pattern_state_persists_across_visits() {
+        // The looping phase resumes where it stopped, not from scratch.
+        let mut p = MixedPattern::new(vec![
+            Phase::new(Box::new(LoopingPattern::new(4)), 2),
+            Phase::new(Box::new(LoopingPattern::new(1).with_base(99)), 1),
+        ]);
+        let ids: Vec<u64> = (0..6).map(|_| p.next_block().raw()).collect();
+        assert_eq!(ids, [0, 1, 99, 2, 3, 99]);
+    }
+
+    #[test]
+    fn deterministic_with_seeded_phases() {
+        let make = || {
+            MixedPattern::new(vec![
+                Phase::new(Box::new(UniformPattern::new(50, 7)), 10),
+                Phase::new(Box::new(LoopingPattern::new(5).with_base(100)), 5),
+            ])
+        };
+        assert_eq!(make().generate(200), make().generate(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phase_list_rejected() {
+        let _ = MixedPattern::new(vec![]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Uniformly random access pattern (the paper's `random` trace).
+//!
+//! "Trace random has a spatially uniform distribution of references across
+//! all the accessed blocks. This access pattern is common in database
+//! applications" (§2.2). Under this pattern no policy can beat RANDOM
+//! replacement: the hit rate of any cache is proportional to its size.
+
+use super::Pattern;
+use crate::{seeded_rng, BlockId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws blocks i.i.d. uniformly from `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use ulc_trace::patterns::{Pattern, UniformPattern};
+///
+/// let mut p = UniformPattern::new(100, 42);
+/// assert!(p.next_block().raw() < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UniformPattern {
+    n: u64,
+    base: u64,
+    rng: StdRng,
+}
+
+impl UniformPattern {
+    /// Uniform references over blocks `0..n`, seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "block universe must be non-empty");
+        UniformPattern {
+            n,
+            base: 0,
+            rng: seeded_rng(seed),
+        }
+    }
+
+    /// Offsets every generated block id by `base`.
+    #[must_use]
+    pub fn with_base(mut self, base: u64) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Number of distinct blocks that can be referenced.
+    pub fn footprint(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Pattern for UniformPattern {
+    fn next_block(&mut self) -> BlockId {
+        BlockId::new(self.base + self.rng.gen_range(0..self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_range() {
+        let mut p = UniformPattern::new(10, 1);
+        for _ in 0..1000 {
+            assert!(p.next_block().raw() < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = UniformPattern::new(1000, 9).generate(200);
+        let b = UniformPattern::new(1000, 9).generate(200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = UniformPattern::new(1000, 1).generate(50);
+        let b = UniformPattern::new(1000, 2).generate(50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn roughly_uniform_counts() {
+        let t = UniformPattern::new(10, 3).generate(100_000);
+        let mut counts = vec![0usize; 10];
+        for r in &t {
+            counts[r.block.raw() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count = {c}");
+        }
+    }
+
+    #[test]
+    fn base_offsets_ids() {
+        let mut p = UniformPattern::new(4, 0).with_base(1000);
+        for _ in 0..100 {
+            let b = p.next_block().raw();
+            assert!((1000..1004).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! One-shot sequential access pattern.
+//!
+//! A sequential sweep never re-references a block (until an enclosing mixed
+//! pattern restarts it), so caching its blocks is pure pollution — the
+//! component of the paper's `multi` trace that rewards scan resistance.
+
+use super::Pattern;
+use crate::BlockId;
+
+/// Sweeps blocks `start..start+n` in order, then keeps going into fresh
+/// block ids (never wrapping), so every reference is a cold miss.
+///
+/// Use [`SequentialPattern::wrapping`] for a sweep that restarts instead —
+/// which makes it a pure loop of length `n`.
+///
+/// # Examples
+///
+/// ```
+/// use ulc_trace::patterns::{Pattern, SequentialPattern};
+///
+/// let mut p = SequentialPattern::new(0, 3);
+/// let ids: Vec<u64> = (0..5).map(|_| p.next_block().raw()).collect();
+/// assert_eq!(ids, [0, 1, 2, 3, 4]); // keeps going past n
+/// ```
+#[derive(Clone, Debug)]
+pub struct SequentialPattern {
+    next: u64,
+    start: u64,
+    n: u64,
+    wrap: bool,
+}
+
+impl SequentialPattern {
+    /// A non-wrapping sweep beginning at `start`; `n` is only advisory (the
+    /// nominal footprint reported by [`SequentialPattern::footprint`]).
+    pub fn new(start: u64, n: u64) -> Self {
+        SequentialPattern {
+            next: start,
+            start,
+            n,
+            wrap: false,
+        }
+    }
+
+    /// Makes the sweep wrap around after `n` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nominal footprint `n` is zero.
+    #[must_use]
+    pub fn wrapping(mut self) -> Self {
+        assert!(self.n > 0, "wrapping sweep needs a non-empty footprint");
+        self.wrap = true;
+        self
+    }
+
+    /// Nominal footprint of the sweep.
+    pub fn footprint(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Pattern for SequentialPattern {
+    fn next_block(&mut self) -> BlockId {
+        let block = BlockId::new(self.next);
+        self.next += 1;
+        if self.wrap && self.next == self.start + self.n {
+            self.next = self.start;
+        }
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_wrapping_never_repeats() {
+        let t = SequentialPattern::new(10, 5).generate(100);
+        assert_eq!(t.unique_blocks(), 100);
+        assert_eq!(t.records()[0].block.raw(), 10);
+        assert_eq!(t.records()[99].block.raw(), 109);
+    }
+
+    #[test]
+    fn wrapping_is_a_loop() {
+        let t = SequentialPattern::new(3, 4).wrapping().generate(12);
+        let ids: Vec<u64> = t.iter().map(|r| r.block.raw()).collect();
+        assert_eq!(ids, [3, 4, 5, 6, 3, 4, 5, 6, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn wrapping_zero_footprint_rejected() {
+        let _ = SequentialPattern::new(0, 0).wrapping();
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use ulc_trace::patterns::{
+    FileSetPattern, LoopingPattern, Pattern, SequentialPattern, TemporalPattern, UniformPattern,
+    WorkingSetDriftPattern, ZipfPattern,
+};
+use ulc_trace::{Trace, TraceStats, Zipf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every seeded generator is a pure function of its parameters.
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..1_000, len in 1usize..300) {
+        let a = UniformPattern::new(100, seed).generate(len);
+        let b = UniformPattern::new(100, seed).generate(len);
+        prop_assert_eq!(a, b);
+        let a = ZipfPattern::new(100, 1.0, seed).generate(len);
+        let b = ZipfPattern::new(100, 1.0, seed).generate(len);
+        prop_assert_eq!(a, b);
+        let a = TemporalPattern::new(50, 0.9, seed).generate(len);
+        let b = TemporalPattern::new(50, 0.9, seed).generate(len);
+        prop_assert_eq!(a, b);
+        let a = WorkingSetDriftPattern::new(200, 20, seed).generate(len);
+        let b = WorkingSetDriftPattern::new(200, 20, seed).generate(len);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Generators never step outside their declared footprint.
+    #[test]
+    fn footprints_are_respected(
+        n in 1u64..200,
+        seed in 0u64..100,
+        len in 1usize..500,
+    ) {
+        let mut p = UniformPattern::new(n, seed);
+        for _ in 0..len {
+            prop_assert!(p.next_block().raw() < n);
+        }
+        let mut p = ZipfPattern::new(n, 1.0, seed).scrambled(seed + 1);
+        for _ in 0..len {
+            prop_assert!(p.next_block().raw() < n);
+        }
+        let mut p = LoopingPattern::new(n);
+        for _ in 0..len {
+            prop_assert!(p.next_block().raw() < n);
+        }
+    }
+
+    /// A loop of length n visits every block exactly once per n steps.
+    #[test]
+    fn loop_is_a_permutation_per_cycle(n in 1u64..100, cycles in 1usize..5) {
+        let trace = LoopingPattern::new(n).generate(n as usize * cycles);
+        let stats = TraceStats::compute(&trace);
+        prop_assert_eq!(stats.unique_blocks as u64, n);
+        prop_assert_eq!(stats.max_block_refs, cycles);
+    }
+
+    /// Zipf probabilities are non-increasing in rank.
+    #[test]
+    fn zipf_pmf_is_monotone(n in 2usize..300, theta in 0.0f64..3.0) {
+        let z = Zipf::new(n, theta);
+        for r in 1..n {
+            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+
+    /// File-set reads: every emitted block belongs to the file set, and
+    /// offsets within each file never exceed the file's size.
+    #[test]
+    fn file_set_reads_stay_inside_files(
+        files in 1u32..40,
+        seed in 0u64..50,
+        len in 1usize..400,
+    ) {
+        let total = files as u64 * 4;
+        let mut p = FileSetPattern::new(files, total, 1.0, seed);
+        let mut max_seen = std::collections::HashMap::new();
+        for _ in 0..len {
+            let b = p.next_block();
+            prop_assert!(b.file().index() < files);
+            let e = max_seen.entry(b.file()).or_insert(0u32);
+            *e = (*e).max(b.offset());
+        }
+        let sum_bound: u64 = max_seen.values().map(|&m| m as u64 + 1).sum();
+        prop_assert!(sum_bound <= total + files as u64);
+    }
+
+    /// Warm-up split is exact and order preserving.
+    #[test]
+    fn warmup_split_partitions_trace(blocks in proptest::collection::vec(0u64..50, 0..200)) {
+        let t: Trace = blocks.iter().map(|&b| ulc_trace::BlockId::new(b)).collect();
+        let (w, m) = t.split_warmup();
+        prop_assert_eq!(w.len() + m.len(), t.len());
+        prop_assert_eq!(w.len(), t.len() / 10);
+        let rejoined: Vec<_> = w.iter().chain(m.iter()).collect();
+        for (a, b) in rejoined.iter().zip(t.iter()) {
+            prop_assert_eq!(*a, b);
+        }
+    }
+
+    /// A non-wrapping sequential sweep never repeats a block.
+    #[test]
+    fn sequential_sweep_never_repeats(start in 0u64..1000, len in 1usize..300) {
+        let t = SequentialPattern::new(start, 10).generate(len);
+        prop_assert_eq!(t.unique_blocks(), len);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run the ULC protocol on a synthetic workload and compare
+//! it with the two classic alternatives.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ulc::core::{UlcConfig, UlcSingle};
+use ulc::hierarchy::{simulate, CostModel, IndLru, MultiLevelPolicy, UniLru};
+use ulc::trace::{synthetic, TraceStats};
+
+fn main() {
+    // A TPC-C-like workload: a dominant loop over ~94 MB of a 256 MB data
+    // set, on a client → server → disk-array hierarchy with 50 MB of
+    // cache at each level.
+    let trace = synthetic::tpcc1(400_000);
+    println!("workload tpcc1: {}", TraceStats::compute(&trace));
+
+    let caps = vec![6_400usize, 6_400, 6_400]; // 50 MB per level
+    let costs = CostModel::paper_three_level();
+
+    let mut schemes: Vec<Box<dyn MultiLevelPolicy>> = vec![
+        Box::new(IndLru::single_client(caps.clone())),
+        Box::new(UniLru::single_client(caps.clone())),
+        Box::new(UlcSingle::new(UlcConfig::new(caps))),
+    ];
+
+    println!(
+        "\n{:<8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "scheme", "h(L1)", "h(L2)", "h(L3)", "miss", "demote/ref", "T_ave"
+    );
+    for scheme in schemes.iter_mut() {
+        let stats = simulate(scheme.as_mut(), &trace, trace.warmup_len());
+        let h = stats.hit_rates();
+        let d: f64 = stats.demotion_rates().iter().sum();
+        println!(
+            "{:<8} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>10.3} {:>8.2}ms",
+            scheme.name(),
+            100.0 * h[0],
+            100.0 * h[1],
+            100.0 * h[2],
+            100.0 * stats.miss_rate(),
+            d,
+            stats.average_access_time(&costs)
+        );
+    }
+    println!(
+        "\nULC places the loop across L1+L2 by its re-reference distance and\n\
+         keeps it there: the same aggregate hit rate as unified LRU, with the\n\
+         demotion traffic gone."
+    );
+}
