@@ -1,0 +1,58 @@
+//! Runs every figure study concurrently through the sweep engine and
+//! prints a machine-readable timing summary.
+//!
+//! Usage: `sweep [--scale=smoke|default|full] [--json=<path>]`.
+//!
+//! The figure renders go to stdout in a fixed order; the
+//! [`ulc_bench::sweep::SweepSummary`] (threads, wall/cpu milliseconds,
+//! per-task timings) is printed as JSON to stderr and, with `--json=`,
+//! written to the given path for dashboards and regression tracking.
+
+use ulc_bench::sweep::Sweep;
+use ulc_bench::{ablation, fig2, fig3, fig6, fig7, maybe_write_json, table1, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut sweep: Sweep<String> = Sweep::new();
+    sweep.add("table1", move || table1::render(&table1::run(scale)));
+    sweep.add("fig2", move || fig2::render(&fig2::run(scale)));
+    sweep.add("fig3", move || fig3::render(&fig3::run(scale)));
+    sweep.add("fig6", move || fig6::render(&fig6::run(scale)));
+    sweep.add("fig7", move || {
+        let points = fig7::run(scale);
+        format!("{}\n{}", fig7::render(&points), fig7::render_detail(&points))
+    });
+    sweep.add("ablation", move || {
+        let mut s = String::new();
+        s.push_str(&ablation::render(
+            "Ablation A: counting tempLRU hits (extension of §3.2 footnote 3)",
+            &ablation::temp_lru_hits(scale),
+        ));
+        s.push_str(&ablation::render(
+            "Ablation B: uniLRUstack metadata budget (§5 trimming claim)",
+            &ablation::stack_limit(scale),
+        ));
+        s.push_str(&ablation::render(
+            "Ablation C: multi-client cold-claim rule (DESIGN.md 5a)",
+            &ablation::claim_rule(scale),
+        ));
+        s
+    });
+    let (renders, summary) = sweep.run();
+    for text in &renders {
+        println!("{text}");
+    }
+    maybe_write_json(&summary);
+    eprintln!(
+        "{}",
+        serde_json::to_string_pretty(&summary).expect("summary serialises")
+    );
+    eprintln!(
+        "sweep: {} tasks on {} threads, {:.0} ms wall / {:.0} ms cpu ({:.2}x)",
+        summary.tasks.len(),
+        summary.threads,
+        summary.wall_ms,
+        summary.cpu_ms,
+        summary.speedup()
+    );
+}

@@ -21,23 +21,24 @@ pub struct Fig2Cell {
     pub cold_fraction: f64,
 }
 
-/// Runs the Figure 2 study.
+/// Runs the Figure 2 study — every (trace, measure) cell in parallel,
+/// results in the sequential loop's order.
 pub fn run(scale: Scale) -> Vec<Fig2Cell> {
-    let mut out = Vec::new();
-    for (name, trace) in synthetic::small_suite(scale.small_refs()) {
-        for kind in MeasureKind::ALL {
-            let report = analyze(&trace, kind, 10);
-            out.push(Fig2Cell {
-                trace: name.to_string(),
-                measure: kind.name().to_string(),
-                reference_ratios: report.reference_ratios(),
-                cumulative: report.cumulative_ratios(),
-                cold_fraction: report.cold_references as f64
-                    / report.total_references.max(1) as f64,
-            });
+    let suite = synthetic::small_suite(scale.small_refs());
+    let grid: Vec<(&str, &ulc_trace::Trace, MeasureKind)> = suite
+        .iter()
+        .flat_map(|(name, trace)| MeasureKind::ALL.map(|kind| (*name, trace, kind)))
+        .collect();
+    crate::sweep::par_map(&grid, |&(name, trace, kind)| {
+        let report = analyze(trace, kind, 10);
+        Fig2Cell {
+            trace: name.to_string(),
+            measure: kind.name().to_string(),
+            reference_ratios: report.reference_ratios(),
+            cumulative: report.cumulative_ratios(),
+            cold_fraction: report.cold_references as f64 / report.total_references.max(1) as f64,
         }
-    }
-    out
+    })
 }
 
 /// Renders the study as the paper lays it out: one block per trace, one

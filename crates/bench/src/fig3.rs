@@ -19,21 +19,23 @@ pub struct Fig3Curve {
     pub mean: f64,
 }
 
-/// Runs the Figure 3 study.
+/// Runs the Figure 3 study — every (trace, measure) cell in parallel,
+/// results in the sequential loop's order.
 pub fn run(scale: Scale) -> Vec<Fig3Curve> {
-    let mut out = Vec::new();
-    for (name, trace) in synthetic::small_suite(scale.small_refs()) {
-        for kind in MeasureKind::ALL {
-            let report = analyze(&trace, kind, 10);
-            out.push(Fig3Curve {
-                trace: name.to_string(),
-                measure: kind.name().to_string(),
-                movement_ratios: report.movement_ratios(),
-                mean: report.mean_movement_ratio(),
-            });
+    let suite = synthetic::small_suite(scale.small_refs());
+    let grid: Vec<(&str, &ulc_trace::Trace, MeasureKind)> = suite
+        .iter()
+        .flat_map(|(name, trace)| MeasureKind::ALL.map(|kind| (*name, trace, kind)))
+        .collect();
+    crate::sweep::par_map(&grid, |&(name, trace, kind)| {
+        let report = analyze(trace, kind, 10);
+        Fig3Curve {
+            trace: name.to_string(),
+            measure: kind.name().to_string(),
+            movement_ratios: report.movement_ratios(),
+            mean: report.mean_movement_ratio(),
         }
-    }
-    out
+    })
 }
 
 /// Renders the curves as rows of boundary values.

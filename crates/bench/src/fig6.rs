@@ -59,21 +59,26 @@ fn measure(
     }
 }
 
-/// Runs the full Figure 6 study: 5 workloads × 3 schemes.
+/// Runs the full Figure 6 study: 5 workloads × 3 schemes, every
+/// (workload, scheme) cell simulated in parallel, results in the
+/// sequential loop's order.
 pub fn run(scale: Scale) -> Vec<Fig6Result> {
     let costs = CostModel::paper_three_level();
-    let mut out = Vec::new();
-    for (name, trace) in synthetic::single_client_suite(scale.large_refs()) {
+    let suite = synthetic::single_client_suite(scale.large_refs());
+    let grid: Vec<(&str, &Trace, usize)> = suite
+        .iter()
+        .flat_map(|(name, trace)| (0..3).map(move |scheme| (*name, trace, scheme)))
+        .collect();
+    crate::sweep::par_map(&grid, |&(name, trace, scheme)| {
         let c = capacity_for(name);
         let caps = vec![c, c, c];
-        let mut ind = IndLru::single_client(caps.clone());
-        out.push(measure(name, &mut ind, &trace, &costs));
-        let mut uni = UniLru::single_client(caps.clone());
-        out.push(measure(name, &mut uni, &trace, &costs));
-        let mut ulc = UlcSingle::new(UlcConfig::new(caps));
-        out.push(measure(name, &mut ulc, &trace, &costs));
-    }
-    out
+        let mut policy: Box<dyn MultiLevelPolicy> = match scheme {
+            0 => Box::new(IndLru::single_client(caps)),
+            1 => Box::new(UniLru::single_client(caps)),
+            _ => Box::new(UlcSingle::new(UlcConfig::new(caps))),
+        };
+        measure(name, policy.as_mut(), trace, &costs)
+    })
 }
 
 /// Renders the three panels of Figure 6.

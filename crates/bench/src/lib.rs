@@ -6,7 +6,9 @@
 //! [`ablation`] our additional design-choice studies. Each module builds
 //! the workloads, runs the protocols and returns plain data structures;
 //! the `src/bin` entry points print them in the layout of the paper's
-//! tables and figures.
+//! tables and figures. The grid loops inside each module fan their cells
+//! across cores through [`sweep::par_map`], and the `sweep` binary runs
+//! whole figures concurrently with a machine-readable timing summary.
 //!
 //! Every experiment takes a [`Scale`] so the full study can be run at
 //! paper scale (hours) or at a reduced reference-count scale (minutes)
@@ -20,6 +22,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig6;
 pub mod fig7;
+pub mod sweep;
 pub mod table1;
 
 use serde::{Deserialize, Serialize};

@@ -4,44 +4,12 @@
 //! the LRU stack distance at which it occurs: the number of *distinct*
 //! blocks referenced since the previous reference to the same block. The
 //! measures framework (§2) needs this for every reference of a trace;
-//! [`lru_stack_distances`] computes it in O(n log n) with a Fenwick tree
-//! over reference positions, instead of O(n²) list walking.
+//! [`lru_stack_distances`] computes it in O(n log n) on a [`RecencyList`]
+//! (a stamp-keyed Fenwick LRU list), instead of O(n²) list walking.
 
+use crate::RecencyList;
 use std::collections::HashMap;
 use std::hash::Hash;
-
-/// Fenwick (binary indexed) tree over prefix sums.
-#[derive(Clone, Debug)]
-struct Fenwick {
-    tree: Vec<i64>,
-}
-
-impl Fenwick {
-    fn new(n: usize) -> Self {
-        Fenwick {
-            tree: vec![0; n + 1],
-        }
-    }
-
-    fn add(&mut self, mut i: usize, delta: i64) {
-        i += 1;
-        while i < self.tree.len() {
-            self.tree[i] += delta;
-            i += i & i.wrapping_neg();
-        }
-    }
-
-    /// Sum of entries `0..=i`.
-    fn prefix(&self, mut i: usize) -> i64 {
-        i += 1;
-        let mut s = 0;
-        while i > 0 {
-            s += self.tree[i];
-            i -= i & i.wrapping_neg();
-        }
-        s
-    }
-}
 
 /// Computes the LRU stack distance of every reference in `items`.
 ///
@@ -63,23 +31,16 @@ impl Fenwick {
 /// ```
 pub fn lru_stack_distances<T: Eq + Hash>(items: &[T]) -> Vec<Option<usize>> {
     let n = items.len();
-    let mut fenwick = Fenwick::new(n);
-    let mut last_pos: HashMap<&T, usize> = HashMap::new();
+    // The indexed list is pre-sized for the whole pass, so no rebuild
+    // ever fires: n moves over at most n dense ids.
+    let mut list = RecencyList::with_capacity(n, n);
+    let mut ids: HashMap<&T, usize> = HashMap::new();
     let mut out = Vec::with_capacity(n);
-    for (i, item) in items.iter().enumerate() {
-        match last_pos.get(item) {
-            Some(&p) => {
-                // Distinct items referenced strictly after position p:
-                // count of "live" markers in (p, i).
-                let between = fenwick.prefix(i.saturating_sub(1)) - fenwick.prefix(p);
-                out.push(Some(between as usize));
-                // The item's marker moves from p to i.
-                fenwick.add(p, -1);
-            }
-            None => out.push(None),
-        }
-        fenwick.add(i, 1);
-        last_pos.insert(item, i);
+    for item in items {
+        let next_id = ids.len();
+        let id = *ids.entry(item).or_insert(next_id);
+        out.push(list.rank_of(id));
+        list.move_to_front(id);
     }
     out
 }

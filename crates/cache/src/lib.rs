@@ -14,7 +14,10 @@
 //! * [`OptCache`] — Belady's OPT, behind the paper's ND measure;
 //! * [`RandomCache`] — the RANDOM floor of §2.2;
 //! * [`lru_stack_distances`] / [`next_locality_distances`] — O(n log n)
-//!   recency (LLD) and NLD precomputation for the measures framework.
+//!   recency (LLD) and NLD precomputation for the measures framework;
+//! * [`Fenwick`] / [`KeyedList`] / [`RecencyList`] / [`LazyMinTree`] —
+//!   O(log n) indexed ranking lists behind the measure analyzers and the
+//!   temporal trace generator.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 mod distance;
+mod indexed_list;
 mod lirs;
 mod list;
 mod lru;
@@ -42,6 +46,7 @@ mod opt;
 mod random_cache;
 
 pub use distance::{lru_stack_distances, next_locality_distances};
+pub use indexed_list::{Fenwick, KeyedList, LazyMinTree, RecencyList};
 pub use lirs::Lirs;
 pub use list::{Iter, LinkedSlab, NodeHandle};
 pub use lru::{CacheEvent, LruCache, LruStack};

@@ -3,8 +3,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use ulc_cache::{
-    lru_stack_distances, next_use_times, CacheEvent, LinkedSlab, Lirs, LruCache, LruStack,
-    MqConfig, MultiQueue, OptCache, RandomCache, NEVER,
+    lru_stack_distances, next_use_times, CacheEvent, KeyedList, LinkedSlab, Lirs, LruCache,
+    LruStack, MqConfig, MultiQueue, OptCache, RandomCache, RecencyList, NEVER,
 };
 
 /// Operations for the LinkedSlab model check.
@@ -143,6 +143,71 @@ proptest! {
         let rnd_hits = keys.iter().filter(|&&k| rnd.access(k).is_hit()).count();
         prop_assert!(opt_hits >= lru_hits, "OPT {} < LRU {}", opt_hits, lru_hits);
         prop_assert!(opt_hits >= rnd_hits, "OPT {} < RANDOM {}", opt_hits, rnd_hits);
+    }
+
+    /// RecencyList behaves exactly like an explicit MRU-first Vec model
+    /// under arbitrary touch/remove sequences, including slot-exhaustion
+    /// rebuilds (the tight `with_capacity` forces them).
+    #[test]
+    fn recency_list_matches_vec_model(
+        ops in vec((0usize..24, any::<bool>()), 1..400),
+    ) {
+        let mut list = RecencyList::with_capacity(24, 8);
+        let mut model: Vec<usize> = Vec::new(); // MRU first
+        for (id, is_remove) in ops {
+            if is_remove {
+                let expect = model.iter().position(|&m| m == id);
+                prop_assert_eq!(list.remove(id), expect.is_some());
+                if let Some(p) = expect {
+                    model.remove(p);
+                }
+            } else {
+                list.move_to_front(id);
+                if let Some(p) = model.iter().position(|&m| m == id) {
+                    model.remove(p);
+                }
+                model.insert(0, id);
+            }
+            prop_assert_eq!(list.len(), model.len());
+            let got: Vec<usize> = list.iter_recency().collect();
+            prop_assert_eq!(&got, &model);
+            for (rank, &id) in model.iter().enumerate() {
+                prop_assert_eq!(list.rank_of(id), Some(rank));
+                prop_assert_eq!(list.select(rank), Some(id));
+            }
+        }
+    }
+
+    /// KeyedList ranks and selection match a sorted-Vec model under
+    /// arbitrary insert/remove sequences over a small key universe.
+    #[test]
+    fn keyed_list_matches_sorted_model(
+        ops in vec((0usize..32, any::<bool>()), 1..400),
+    ) {
+        let mut list = KeyedList::new(32);
+        let mut model: Vec<usize> = Vec::new(); // sorted key indices
+        for (idx, insert) in ops {
+            let pos = model.binary_search(&idx);
+            match (insert, pos) {
+                (true, Err(p)) => {
+                    list.insert_at_key(idx);
+                    model.insert(p, idx);
+                }
+                (false, Ok(p)) => {
+                    list.remove(idx);
+                    model.remove(p);
+                }
+                // Duplicate insert / absent remove: skip (the structure
+                // forbids them by contract).
+                _ => {}
+            }
+            prop_assert_eq!(list.len(), model.len());
+            for (rank, &idx) in model.iter().enumerate() {
+                prop_assert!(list.contains_key(idx));
+                prop_assert_eq!(list.rank_of_key(idx), rank);
+                prop_assert_eq!(list.select(rank), Some(idx));
+            }
+        }
     }
 
     /// The Fenwick-based stack distance matches an explicit stack walk.

@@ -41,7 +41,7 @@ mod samples;
 mod report;
 mod summary;
 
-pub use analysis::{analyze, analyze_all, recencies, reference};
+pub use analysis::{analyze, analyze_all, analyze_all_parallel, recencies, reference};
 pub use histogram::ReuseHistogram;
 pub use measure::{MeasureKind, INFINITE};
 pub use report::SegmentReport;

@@ -36,6 +36,39 @@ proptest! {
         }
     }
 
+    /// Fast == brute force on scan/loop-heavy traces. Sequential scans
+    /// drive the indexed LLD-R analyzer's drift and static→R transition
+    /// machinery, and repeated loops exercise its unchanged-order fast
+    /// path — the regimes a uniform-random trace rarely reaches.
+    #[test]
+    fn fast_analysis_equals_reference_on_scans_and_loops(
+        pieces in vec((0u64..3, 0u64..24, 2u64..20), 1..12),
+        segments in 2usize..8,
+    ) {
+        // Opening scan guarantees `segments` (< 8) distinct blocks.
+        let mut blocks: Vec<BlockId> = (0..8).map(BlockId::new).collect();
+        for (shape, base, len) in pieces {
+            match shape {
+                // Forward scan: every block's LLD grows with the scan.
+                0 => blocks.extend((base..base + len).map(BlockId::new)),
+                // Loop: the second lap repeats the first's locality scope.
+                1 => {
+                    for _ in 0..2 {
+                        blocks.extend((base..base + len).map(BlockId::new));
+                    }
+                }
+                // Hot spot: tight re-references keep recency dominant.
+                _ => blocks.extend((0..len).map(|i| BlockId::new(base + i % 3))),
+            }
+        }
+        let trace = Trace::from_blocks(blocks);
+        for kind in MeasureKind::ALL {
+            let fast = analyze(&trace, kind, segments);
+            let slow = reference::analyze_slow(&trace, kind, segments);
+            prop_assert_eq!(fast, slow, "measure {}", kind);
+        }
+    }
+
     /// Segment hits plus cold references account for every reference, for
     /// every measure.
     #[test]

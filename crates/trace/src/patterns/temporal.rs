@@ -13,6 +13,7 @@
 use super::Pattern;
 use crate::{seeded_rng, BlockId, TruncatedGeometric};
 use rand::rngs::StdRng;
+use ulc_cache::RecencyList;
 
 /// LRU-friendly stream via stack-depth sampling.
 ///
@@ -26,8 +27,11 @@ use rand::rngs::StdRng;
 /// ```
 #[derive(Clone, Debug)]
 pub struct TemporalPattern {
-    /// Blocks ordered by recency; index 0 is most recent.
-    stack: Vec<u64>,
+    /// Blocks ordered by recency; rank 0 is most recent. The indexed
+    /// list makes each step O(log n) where the former `Vec` stack paid
+    /// O(n) to find and splice the sampled depth.
+    stack: RecencyList,
+    n: u64,
     depth_dist: TruncatedGeometric,
     base: u64,
     rng: StdRng,
@@ -42,8 +46,14 @@ impl TemporalPattern {
     /// Panics if `n` is zero or `q` is outside `(0, 1)`.
     pub fn new(n: u64, q: f64, seed: u64) -> Self {
         assert!(n > 0, "block universe must be non-empty");
+        // Seed the stack in id order: block 0 on top, as before.
+        let mut stack = RecencyList::new(n as usize);
+        for block in (0..n as usize).rev() {
+            stack.move_to_front(block);
+        }
         TemporalPattern {
-            stack: (0..n).collect(),
+            stack,
+            n,
             depth_dist: TruncatedGeometric::new(n as usize, q),
             base: 0,
             rng: seeded_rng(seed),
@@ -59,16 +69,16 @@ impl TemporalPattern {
 
     /// Number of distinct blocks that can be referenced.
     pub fn footprint(&self) -> u64 {
-        self.stack.len() as u64
+        self.n
     }
 }
 
 impl Pattern for TemporalPattern {
     fn next_block(&mut self) -> BlockId {
         let depth = self.depth_dist.sample(&mut self.rng);
-        let block = self.stack.remove(depth);
-        self.stack.insert(0, block);
-        BlockId::new(self.base + block)
+        let block = self.stack.select(depth).expect("depth within stack");
+        self.stack.move_to_front(block);
+        BlockId::new(self.base + block as u64)
     }
 }
 

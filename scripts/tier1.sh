@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must build, every test must pass, and the lint
+# wall must be clean. Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings
+
+echo "tier1: ok"

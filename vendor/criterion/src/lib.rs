@@ -1,0 +1,315 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `Throughput::Elements`,
+//! `criterion_group!` / `criterion_main!` and [`black_box`] — on a simple
+//! wall-clock harness: per benchmark it auto-tunes an iteration count,
+//! takes `sample_size` samples and reports the median time per iteration
+//! (plus throughput when declared).
+//!
+//! Machine-readable output: when the `CRITERION_JSON` environment variable
+//! names a file, one JSON object per benchmark is appended to it:
+//! `{"bench": "...", "ns_per_iter": ..., "samples": ...}`.
+
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples taken per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units-of-work declaration for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work done per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            result: None,
+            sample_size: self.criterion.sample_size,
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.result);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            result: None,
+            sample_size: self.criterion.sample_size,
+            measurement_time: self.criterion.measurement_time,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.result);
+        self
+    }
+
+    /// Ends the group (upstream parity; all reporting is immediate here).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, result: Option<Sample>) {
+        let Some(sample) = result else {
+            eprintln!("warning: benchmark {}/{} never called iter()", self.name, id);
+            return;
+        };
+        let full = format!("{}/{}", self.name, id);
+        let per_iter_ns = sample.median_ns_per_iter;
+        let human = if per_iter_ns >= 1e9 {
+            format!("{:.3} s", per_iter_ns / 1e9)
+        } else if per_iter_ns >= 1e6 {
+            format!("{:.3} ms", per_iter_ns / 1e6)
+        } else if per_iter_ns >= 1e3 {
+            format!("{:.3} µs", per_iter_ns / 1e3)
+        } else {
+            format!("{per_iter_ns:.1} ns")
+        };
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (per_iter_ns / 1e9);
+                format!("  thrpt: {:.3} Melem/s", rate / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (per_iter_ns / 1e9);
+                format!("  thrpt: {:.3} MiB/s", rate / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full:<48} time: {human:>12}/iter ({} samples × {} iters){throughput}",
+            sample.samples, sample.iters_per_sample
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = writeln!(
+                        file,
+                        "{{\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"samples\":{}}}",
+                        full.replace('"', "'"),
+                        per_iter_ns,
+                        sample.samples
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    median_ns_per_iter: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    result: Option<Sample>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`: auto-tunes an iteration count, takes
+    /// `sample_size` samples and records the median time per iteration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate: how many iterations fit one sample's time budget?
+        let per_sample_budget =
+            self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((per_sample_budget / first).floor() as u64).clamp(1, 1_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        let median = samples_ns[samples_ns.len() / 2];
+        self.result = Some(Sample {
+            median_ns_per_iter: median,
+            samples: self.sample_size,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

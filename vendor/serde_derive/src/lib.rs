@@ -1,0 +1,269 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, by walking the raw
+//! [`proc_macro::TokenStream`] (no `syn`/`quote` available offline):
+//!
+//! * structs with named fields  → JSON objects;
+//! * one-field tuple structs    → transparent newtypes;
+//! * multi-field tuple structs  → JSON arrays;
+//! * enums of unit variants     → strings holding the variant name.
+//!
+//! Generic types, data-carrying enums and `#[serde(...)]` attributes are
+//! not supported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Shape {
+    /// `struct S { a: A, b: B }` with the field names.
+    Named(Vec<String>),
+    /// `struct S(A, B);` with the field count.
+    Tuple(usize),
+    /// `enum E { X, Y }` with the variant names.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]` / `#![...]`) and visibility (`pub`,
+/// `pub(...)`) from the front of `tokens`, returning the next real token.
+fn next_significant(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Option<TokenTree> {
+    loop {
+        match tokens.next()? {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: optional `!`, then a bracket group.
+                match tokens.peek() {
+                    Some(TokenTree::Punct(bang)) if bang.as_char() == '!' => {
+                        tokens.next();
+                    }
+                    _ => {}
+                }
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            other => return Some(other),
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let kw = match next_significant(&mut tokens) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: unexpected token {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive stub: malformed enum {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+/// Extracts the field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let Some(tok) = next_significant(&mut tokens) else {
+            break;
+        };
+        let field = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut pending = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    count + usize::from(pending)
+}
+
+/// Extracts the variant names of a unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let Some(tok) = next_significant(&mut tokens) else {
+            break;
+        };
+        match tok {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => panic!("serde_derive stub: expected variant in `{enum_name}`, got {other:?}"),
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive stub: data-carrying variants in `{enum_name}` are not supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "serde_derive stub: explicit discriminants in `{enum_name}` are not supported"
+            ),
+            other => panic!("serde_derive stub: unexpected token {other:?} in `{enum_name}`"),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]`: tree-model serialization (see the vendored
+/// `serde` crate for the data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]`: tree-model deserialization.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__fields, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __fields = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{ \
+                     return Err(::serde::DeError::custom(\"wrong tuple length for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "let __s = __v.as_str().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected string for {name}\"))?;\n\
+                 match __s {{ {} _ => Err(::serde::DeError::custom(\
+                     \"unknown variant for {name}\")) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated invalid Deserialize impl")
+}
