@@ -129,6 +129,7 @@ pub fn find<'a>(results: &'a [Fig6Result], trace: &str, scheme: &str) -> &'a Fig
     results
         .iter()
         .find(|r| r.trace == trace && r.scheme == scheme)
+        // lint:allow(panic) report lookup helper; the message needs the runtime key
         .unwrap_or_else(|| panic!("missing {trace}/{scheme}"))
 }
 

@@ -53,6 +53,7 @@ impl Scale {
                     "smoke" => Scale::Smoke,
                     "default" => Scale::Default,
                     "full" => Scale::Full,
+                    // lint:allow(panic) CLI argument validation; aborting with a clear message is the contract
                     other => panic!("unknown scale {other:?} (use smoke|default|full)"),
                 };
             }
@@ -99,6 +100,7 @@ pub fn maybe_write_json<T: Serialize>(value: &T) {
     for arg in std::env::args() {
         if let Some(path) = arg.strip_prefix("--json=") {
             let file = std::fs::File::create(path)
+                // lint:allow(panic) documented `# Panics` contract; the message needs the runtime path
                 .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
             serde_json::to_writer_pretty(file, value).expect("JSON serialisation");
             eprintln!("wrote {path}");

@@ -108,6 +108,25 @@ impl Fenwick {
         self.prefix(i) - self.count_below(i)
     }
 
+    /// Deep structural validation for the workspace's usage contract:
+    /// the node array covers `0..=n` and every point value is
+    /// non-negative (all users store occupancy bits or multiplicities,
+    /// which [`Fenwick::select`] requires).
+    ///
+    /// O(n log n). Panics on the first violation. Available to tests
+    /// unconditionally; the composite structures built on `Fenwick`
+    /// call it from their own `check_invariants`.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.tree.len(), self.n + 1, "node array must cover 0..=n");
+        let mut total = 0i64;
+        for i in 0..self.n {
+            let v = self.get(i);
+            assert!(v >= 0, "entry {i} is negative ({v})");
+            total += v;
+        }
+        assert_eq!(self.total(), total, "total must equal the sum of entries");
+    }
+
     /// For a tree of non-negative entries: the smallest index `i` with
     /// `prefix(i) > k`, i.e. the position of the `(k+1)`-th unit. Returns
     /// `None` when fewer than `k + 1` units exist.
@@ -189,6 +208,19 @@ impl KeyedList {
     /// The key index of the member at `rank`, if that many are present.
     pub fn select(&self, rank: usize) -> Option<usize> {
         self.fen.select(rank)
+    }
+
+    /// Deep structural validation: every key holds 0 or 1, and the
+    /// cached length equals the number of occupied keys. O(n log n).
+    pub fn check_invariants(&self) {
+        self.fen.check_invariants();
+        let mut occupied = 0usize;
+        for i in 0..self.fen.len() {
+            let v = self.fen.get(i);
+            assert!(v == 0 || v == 1, "key {i} occupancy must be 0/1, got {v}");
+            occupied += v as usize;
+        }
+        assert_eq!(self.len, occupied, "len must count the occupied keys");
     }
 }
 
@@ -303,6 +335,38 @@ impl RecencyList {
     /// Ids in recency order, most recent first.
     pub fn iter_recency(&self) -> impl Iterator<Item = usize> + '_ {
         self.id_at.iter().copied().filter(|&id| id != VACANT)
+    }
+
+    /// Deep structural validation: `slot_of` and `id_at` are mutually
+    /// inverse partial maps, the occupancy tree marks exactly the taken
+    /// slots, every taken slot is at or above `next_slot` (slots are
+    /// handed out downward), and the cached length matches. O(n log n).
+    pub fn check_invariants(&self) {
+        self.occ.check_invariants();
+        assert_eq!(self.occ.len(), self.id_at.len(), "occupancy covers the slots");
+        assert!(self.next_slot <= self.id_at.len(), "next_slot in range");
+        let mut taken = 0usize;
+        for (slot, &id) in self.id_at.iter().enumerate() {
+            if id == VACANT {
+                assert_eq!(self.occ.get(slot), 0, "vacant slot {slot} marked occupied");
+                continue;
+            }
+            taken += 1;
+            assert_eq!(self.occ.get(slot), 1, "taken slot {slot} not marked occupied");
+            assert!(slot >= self.next_slot, "slot {slot} below the hand-out floor");
+            assert_eq!(
+                self.slot_of.get(id).copied(),
+                Some(slot),
+                "id {id} must map back to slot {slot}"
+            );
+        }
+        let forward = self
+            .slot_of
+            .iter()
+            .filter(|&&s| s != VACANT)
+            .count();
+        assert_eq!(forward, taken, "slot_of and id_at must agree on membership");
+        assert_eq!(self.len, taken, "len must count the members");
     }
 
     /// Reassigns all members to the top of a fresh, larger slot space.
@@ -436,6 +500,36 @@ impl LazyMinTree {
     /// Sets position `i` to `value`.
     pub fn set(&mut self, i: usize, value: i64) {
         self.set_rec(1, 0, self.n, i, value);
+    }
+
+    /// Deep structural validation: every internal node's cached minimum
+    /// equals the minimum of its children's *resolved* minima plus its
+    /// own pending lazy delta, so range queries after any push sequence
+    /// return the same answers. O(n). Panics on the first violation.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.min.len(), self.lazy.len(), "min/lazy arrays in step");
+        if self.n > 0 {
+            self.resolved_min(1, 0, self.n);
+        }
+    }
+
+    /// Bottom-up recomputation of the subtree minimum at `node`,
+    /// asserting each cached internal value along the way.
+    fn resolved_min(&self, node: usize, lo: usize, hi: usize) -> i64 {
+        if hi - lo <= 1 {
+            return self.min[node];
+        }
+        let mid = lo + (hi - lo) / 2;
+        let children = self
+            .resolved_min(2 * node, lo, mid)
+            .min(self.resolved_min(2 * node + 1, mid, hi));
+        let expect = children + self.lazy[node];
+        assert_eq!(
+            self.min[node], expect,
+            "node {node} ([{lo}, {hi})) caches {} but resolves to {expect}",
+            self.min[node]
+        );
+        expect
     }
 
     fn set_rec(&mut self, node: usize, lo: usize, hi: usize, i: usize, value: i64) {

@@ -52,6 +52,8 @@ pub struct Lirs<K: Eq + Hash + Clone> {
     resident: usize,
     /// Bound on history-only entries kept in `S`.
     history_limit: usize,
+    #[cfg(feature = "debug_invariants")]
+    tick: u64,
 }
 
 impl<K: Eq + Hash + Clone> Lirs<K> {
@@ -81,6 +83,78 @@ impl<K: Eq + Hash + Clone> Lirs<K> {
             lir_count: 0,
             resident: 0,
             history_limit: 2 * capacity,
+            #[cfg(feature = "debug_invariants")]
+            tick: 0,
+        }
+    }
+
+    /// Deep structural validation of the LIRS bookkeeping: residency and
+    /// LIR counts match the status table, `Q` holds exactly the resident
+    /// HIR blocks, every LIR block and every history-only entry lives in
+    /// `S`, the bottom of `S` is always LIR (stack pruning), and the
+    /// capacity bounds hold. O(n). Panics on the first violation.
+    pub fn check_invariants(&self) {
+        assert!(self.resident <= self.capacity, "residency within capacity");
+        assert!(self.lir_count <= self.lir_capacity, "LIR set within its bound");
+        let (mut lir, mut hir_resident, mut hir_history) = (0usize, 0usize, 0usize);
+        // lint:allow(determinism) order-insensitive counting of statuses
+        for (key, status) in self.status.iter() {
+            match status {
+                Status::Lir => {
+                    lir += 1;
+                    assert!(self.stack.contains(key), "LIR block must be in S");
+                    assert!(!self.queue.contains(key), "LIR block must not be in Q");
+                }
+                Status::Hir { resident: true } => {
+                    hir_resident += 1;
+                    assert!(self.queue.contains(key), "resident HIR must be in Q");
+                }
+                Status::Hir { resident: false } => {
+                    hir_history += 1;
+                    assert!(self.stack.contains(key), "history entry must be in S");
+                    assert!(!self.queue.contains(key), "history entry must not be in Q");
+                }
+            }
+        }
+        assert_eq!(self.lir_count, lir, "lir_count matches the status table");
+        assert_eq!(
+            self.resident,
+            lir + hir_resident,
+            "resident count matches the status table"
+        );
+        assert_eq!(
+            self.queue.len(),
+            hir_resident,
+            "Q holds exactly the resident HIR blocks"
+        );
+        assert_eq!(
+            self.status.len(),
+            lir + hir_resident + hir_history,
+            "status table covers exactly the tracked blocks"
+        );
+        for key in self.stack.iter() {
+            assert!(
+                self.status.contains_key(key),
+                "every S entry must have a status"
+            );
+        }
+        if let Some(bottom) = self.stack.bottom() {
+            assert!(
+                matches!(self.status.get(bottom), Some(Status::Lir)),
+                "the bottom of S must be a LIR block"
+            );
+        }
+    }
+
+    /// Amortised feature-gated self-check; see `LinkedSlab::debug_validate`.
+    #[inline]
+    fn debug_validate(&mut self) {
+        #[cfg(feature = "debug_invariants")]
+        {
+            self.tick += 1;
+            if self.status.len() < 64 || self.tick.is_multiple_of(256) {
+                self.check_invariants();
+            }
         }
     }
 
@@ -181,6 +255,12 @@ impl<K: Eq + Hash + Clone> Lirs<K> {
 
     /// References `key`.
     pub fn access(&mut self, key: K) -> CacheEvent<K> {
+        let event = self.access_inner(key);
+        self.debug_validate();
+        event
+    }
+
+    fn access_inner(&mut self, key: K) -> CacheEvent<K> {
         match self.status.get(&key).copied() {
             Some(Status::Lir) => {
                 let was_bottom = self.stack.bottom() == Some(&key);

@@ -61,6 +61,8 @@ pub struct LinkedSlab<T> {
     head: u32,
     tail: u32,
     len: usize,
+    #[cfg(feature = "debug_invariants")]
+    tick: u64,
 }
 
 impl<T> Default for LinkedSlab<T> {
@@ -78,6 +80,8 @@ impl<T> LinkedSlab<T> {
             head: NIL,
             tail: NIL,
             len: 0,
+            #[cfg(feature = "debug_invariants")]
+            tick: 0,
         }
     }
 
@@ -89,6 +93,8 @@ impl<T> LinkedSlab<T> {
             head: NIL,
             tail: NIL,
             len: 0,
+            #[cfg(feature = "debug_invariants")]
+            tick: 0,
         }
     }
 
@@ -141,6 +147,7 @@ impl<T> LinkedSlab<T> {
         }
         self.head = i;
         self.len += 1;
+        self.debug_validate();
         NodeHandle {
             index: i,
             generation: gen,
@@ -160,6 +167,7 @@ impl<T> LinkedSlab<T> {
         }
         self.tail = i;
         self.len += 1;
+        self.debug_validate();
         NodeHandle {
             index: i,
             generation: gen,
@@ -190,6 +198,7 @@ impl<T> LinkedSlab<T> {
             self.head = i;
         }
         self.len += 1;
+        self.debug_validate();
         Ok(NodeHandle {
             index: i,
             generation: gen,
@@ -224,6 +233,7 @@ impl<T> LinkedSlab<T> {
         let value = node.value.take();
         self.free.push(h.index);
         self.len -= 1;
+        self.debug_validate();
         value
     }
 
@@ -244,6 +254,7 @@ impl<T> LinkedSlab<T> {
             self.tail = h.index;
         }
         self.head = h.index;
+        self.debug_validate();
         true
     }
 
@@ -264,6 +275,7 @@ impl<T> LinkedSlab<T> {
             self.head = h.index;
         }
         self.tail = h.index;
+        self.debug_validate();
         true
     }
 
@@ -328,6 +340,56 @@ impl<T> LinkedSlab<T> {
         }
     }
 
+    /// Deep structural validation: forward/backward link symmetry, length
+    /// accounting, and free-slot bookkeeping (every slot is either linked
+    /// with a value or parked on the free list, never both).
+    ///
+    /// O(n). Panics with a description of the first violated invariant.
+    /// With the `debug_invariants` feature this runs automatically after
+    /// every mutating operation; it is always available to tests.
+    pub fn check_invariants(&self) {
+        let mut count = 0usize;
+        let mut prev = NIL;
+        let mut i = self.head;
+        while i != NIL {
+            let n = &self.nodes[i as usize];
+            assert!(n.value.is_some(), "linked node {i} must hold a value");
+            assert_eq!(n.prev, prev, "prev link of node {i} must point back");
+            count += 1;
+            assert!(count <= self.nodes.len(), "cycle in forward links");
+            prev = i;
+            i = n.next;
+        }
+        assert_eq!(self.tail, prev, "tail must be the last reachable node");
+        assert_eq!(self.len, count, "len must count the reachable nodes");
+        assert_eq!(
+            self.free.len(),
+            self.nodes.len() - count,
+            "every unlinked slot must be on the free list"
+        );
+        for &f in &self.free {
+            assert!(
+                self.nodes[f as usize].value.is_none(),
+                "free slot {f} must be vacant"
+            );
+        }
+    }
+
+    /// Runs [`Self::check_invariants`] when the `debug_invariants`
+    /// feature is enabled; a no-op (and fully optimised out) otherwise.
+    /// The O(n) sweep is amortised: every mutation while the list is
+    /// small, every 256th mutation once it grows.
+    #[inline]
+    fn debug_validate(&mut self) {
+        #[cfg(feature = "debug_invariants")]
+        {
+            self.tick += 1;
+            if self.len < 64 || self.tick.is_multiple_of(256) {
+                self.check_invariants();
+            }
+        }
+    }
+
     /// Removes every node.
     pub fn clear(&mut self) {
         let mut i = self.head;
@@ -342,6 +404,7 @@ impl<T> LinkedSlab<T> {
         self.head = NIL;
         self.tail = NIL;
         self.len = 0;
+        self.debug_validate();
     }
 }
 

@@ -3,8 +3,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use ulc_cache::{
-    lru_stack_distances, next_use_times, CacheEvent, KeyedList, LinkedSlab, Lirs, LruCache,
-    LruStack, MqConfig, MultiQueue, OptCache, RandomCache, RecencyList, NEVER,
+    lru_stack_distances, next_use_times, CacheEvent, Fenwick, KeyedList, LazyMinTree, LinkedSlab,
+    Lirs, LruCache, LruStack, MqConfig, MultiQueue, OptCache, RandomCache, RecencyList, NEVER,
 };
 
 /// Operations for the LinkedSlab model check.
@@ -79,6 +79,7 @@ proptest! {
             let got: Vec<(usize, u16)> = slab.iter().map(|(_, &v)| v).collect();
             prop_assert_eq!(&got, &model);
             prop_assert_eq!(slab.len(), model.len());
+            slab.check_invariants();
         }
     }
 
@@ -175,6 +176,7 @@ proptest! {
                 prop_assert_eq!(list.rank_of(id), Some(rank));
                 prop_assert_eq!(list.select(rank), Some(id));
             }
+            list.check_invariants();
         }
     }
 
@@ -207,6 +209,7 @@ proptest! {
                 prop_assert_eq!(list.rank_of_key(idx), rank);
                 prop_assert_eq!(list.select(rank), Some(idx));
             }
+            list.check_invariants();
         }
     }
 
@@ -291,9 +294,75 @@ proptest! {
             }
             prop_assert!(lirs.len() <= capacity);
             prop_assert_eq!(lirs.len(), resident.len());
+            lirs.check_invariants();
         }
         let opt_hits = OptCache::hits_on_trace(capacity, &keys);
         prop_assert!(hits <= opt_hits, "LIRS {} > OPT {}", hits, opt_hits);
+    }
+
+    /// Fenwick prefix sums, point reads, and order-statistic selection
+    /// all match a plain array model under arbitrary 0/1 toggles.
+    #[test]
+    fn fenwick_matches_array_model(ops in vec((0usize..48, any::<bool>()), 1..300)) {
+        let mut fen = Fenwick::new(48);
+        let mut model = [0i64; 48];
+        for (i, set) in ops {
+            let delta = if set { 1 } else { -model[i] };
+            fen.add(i, delta);
+            model[i] += delta;
+            fen.check_invariants();
+            let mut acc = 0i64;
+            for (j, &m) in model.iter().enumerate() {
+                prop_assert_eq!(fen.get(j), m, "slot {}", j);
+                prop_assert_eq!(fen.count_below(j), acc, "prefix below {}", j);
+                acc += m;
+            }
+            prop_assert_eq!(fen.total(), acc);
+            // select(k) finds the position of the (k+1)-th unit; a slot
+            // holding m units covers m consecutive ranks.
+            let mut rank = 0usize;
+            for (j, &m) in model.iter().enumerate() {
+                for _ in 0..m {
+                    prop_assert_eq!(fen.select(rank), Some(j), "rank {}", rank);
+                    rank += 1;
+                }
+            }
+            prop_assert_eq!(fen.select(rank), None);
+        }
+    }
+
+    /// LazyMinTree range-add / range-min / argmin match an explicit array
+    /// model, and the lazy structure resolves consistently after every op.
+    #[test]
+    fn lazy_min_tree_matches_array_model(
+        ops in vec((0usize..24, 0usize..24, 0u32..16, any::<bool>()), 1..200),
+    ) {
+        let mut tree = LazyMinTree::new(24, 0);
+        let mut model = [0i64; 24];
+        for (a, b, raw_delta, is_add) in ops {
+            let delta = raw_delta as i64 - 8;
+            let (l, r) = (a.min(b), a.max(b) + 1);
+            if is_add {
+                tree.add_range(l, r, delta);
+                for m in &mut model[l..r] {
+                    *m += delta;
+                }
+            } else {
+                tree.set(l, delta);
+                model[l] = delta;
+            }
+            tree.check_invariants();
+            let want = *model[l..r].iter().min().expect("non-empty range");
+            prop_assert_eq!(tree.min_range(l, r), want);
+            tree.check_invariants();
+            let want_all = *model.iter().min().expect("non-empty");
+            prop_assert_eq!(tree.min_all(), want_all);
+            let (v, i) = tree.argmin();
+            prop_assert_eq!(v, want_all);
+            let leftmost = model.iter().position(|&m| m == want_all);
+            prop_assert_eq!(Some(i), leftmost, "argmin must be leftmost");
+            tree.check_invariants();
+        }
     }
 
     /// RandomCache: capacity bound and hit iff resident (residency model

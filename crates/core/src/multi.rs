@@ -183,6 +183,8 @@ pub struct UlcMulti {
     clients: Vec<ClientState>,
     server: GlobalLru,
     claim_rule: ClaimRule,
+    #[cfg(feature = "debug_invariants")]
+    tick: u64,
 }
 
 impl UlcMulti {
@@ -215,6 +217,8 @@ impl UlcMulti {
             clients,
             server: GlobalLru::new(config.server_capacity),
             claim_rule: config.claim_rule,
+            #[cfg(feature = "debug_invariants")]
+            tick: 0,
         }
     }
 
@@ -232,23 +236,58 @@ impl UlcMulti {
     /// allocation of Figure 5.
     pub fn server_allocation(&self) -> Vec<usize> {
         let mut alloc = vec![0usize; self.clients.len()];
+        // lint:allow(determinism) order-insensitive accumulation into a per-client histogram
         for (_, &o) in self.server.owner.iter() {
             alloc[o as usize] += 1;
         }
         alloc
     }
 
-    /// Validates per-client stack invariants; for tests.
+    /// Validates the protocol-level invariants: per-client stack
+    /// structure, per-level capacity bounds, exclusive caching (a block a
+    /// client holds privately is never also its own server copy —
+    /// single-residency across the hierarchy), notification conservation
+    /// (a believed server placement is either really cached there or its
+    /// invalidation is still in flight), and server/owner bookkeeping.
     ///
     /// # Panics
     ///
     /// Panics if an invariant is violated.
     pub fn check_invariants(&self) {
-        for c in &self.clients {
+        for (ci, c) in self.clients.iter().enumerate() {
             c.stack.check_invariants();
+            for b in c.stack.level_blocks(0) {
+                assert_ne!(
+                    self.server.owner_of(b),
+                    Some(ci as u32),
+                    "exclusive caching: {b:?} is resident at client {ci} yet owned by it at the server"
+                );
+            }
+            for b in c.stack.level_blocks(1) {
+                assert!(
+                    self.server.contains(b) || c.pending.contains(&b),
+                    "client {ci} believes {b:?} is at the server with no pending notice"
+                );
+            }
         }
         assert!(self.server.stack.len() <= self.server.capacity);
         assert_eq!(self.server.stack.len(), self.server.owner.len());
+        for b in self.server.stack.iter() {
+            let o = self.server.owner_of(*b);
+            assert!(
+                o.is_some_and(|o| (o as usize) < self.clients.len()),
+                "server block {b:?} has an invalid owner ({o:?})"
+            );
+        }
+    }
+
+    /// Amortised feature-gated self-check after each access.
+    #[cfg(feature = "debug_invariants")]
+    fn debug_validate(&mut self) {
+        self.tick += 1;
+        if self.server.stack.len() < 64 || self.tick.is_multiple_of(256) {
+            self.check_invariants();
+        }
     }
 
     /// Routes a server replacement notification.
@@ -362,6 +401,9 @@ impl MultiLevelPolicy for UlcMulti {
                 self.apply_effect(effect, demoted, c as u32);
             }
         }
+
+        #[cfg(feature = "debug_invariants")]
+        self.debug_validate();
 
         AccessOutcome {
             hit_level,

@@ -100,6 +100,8 @@ pub struct UniLruStack {
     next_stamp: u64,
     /// Optional bound on total stack entries (§5 metadata trimming).
     stack_limit: Option<usize>,
+    #[cfg(feature = "debug_invariants")]
+    tick: u64,
 }
 
 impl UniLruStack {
@@ -127,6 +129,8 @@ impl UniLruStack {
             external_full: vec![false; n],
             next_stamp: 0,
             stack_limit: None,
+            #[cfg(feature = "debug_invariants")]
+            tick: 0,
         }
     }
 
@@ -457,6 +461,7 @@ impl UniLruStack {
             }
         }
         self.trim();
+        self.debug_validate();
         outcome
     }
 
@@ -484,7 +489,21 @@ impl UniLruStack {
         }
         self.list.get_mut(h).expect("handle is live").level = OUT;
         self.trim();
+        self.debug_validate();
         true
+    }
+
+    /// Amortised feature-gated self-check: every mutation while the stack
+    /// is small, every 256th once it grows.
+    #[inline]
+    fn debug_validate(&mut self) {
+        #[cfg(feature = "debug_invariants")]
+        {
+            self.tick += 1;
+            if self.list.len() < 64 || self.tick.is_multiple_of(256) {
+                self.check_invariants();
+            }
+        }
     }
 
     /// Validates every structural invariant; for tests.
@@ -515,17 +534,19 @@ impl UniLruStack {
                 self.counts[i] <= self.capacities[i],
                 "level {i} over capacity"
             );
-            match (self.yardsticks[i], deepest[i]) {
-                (None, None) => {}
-                (Some(y), Some((stamp, block))) => {
-                    let e = self.entry(y);
-                    assert_eq!(
-                        (e.stamp, e.block),
-                        (stamp, block),
-                        "yardstick {i} must be the level's deepest block"
-                    );
-                }
-                (y, d) => panic!("yardstick {i} mismatch: {y:?} vs {d:?}"),
+            let (y, d) = (self.yardsticks[i], deepest[i]);
+            assert_eq!(
+                y.is_some(),
+                d.is_some(),
+                "yardstick {i} presence mismatch: {y:?} vs {d:?}"
+            );
+            if let (Some(y), Some((stamp, block))) = (y, d) {
+                let e = self.entry(y);
+                assert_eq!(
+                    (e.stamp, e.block),
+                    (stamp, block),
+                    "yardstick {i} must be the level's deepest block"
+                );
             }
         }
         if let Some(limit) = self.stack_limit {

@@ -56,6 +56,8 @@ pub struct UniLru {
     demoted_by: HashMap<BlockId, u32>,
     adaptive: Vec<AdaptiveState>,
     epoch_len: u64,
+    #[cfg(feature = "debug_invariants")]
+    tick: u64,
 }
 
 impl UniLru {
@@ -102,6 +104,66 @@ impl UniLru {
                 n
             ],
             epoch_len: 5_000,
+            #[cfg(feature = "debug_invariants")]
+            tick: 0,
+        }
+    }
+
+    /// Deep structural validation of the DEMOTE hierarchy: per-level
+    /// capacity bounds, single-residency across the shared levels (a
+    /// block is demoted *into* exactly one place), full exclusivity for
+    /// single-client hierarchies (a promoted block has left every lower
+    /// level), and adaptive bookkeeping that tracks exactly the blocks
+    /// resident in the first shared level.
+    ///
+    /// Two *different* clients may both privately cache a block — each
+    /// read it through its own miss path — so cross-client exclusivity is
+    /// intentionally not asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn check_invariants(&self) {
+        for (i, c) in self.clients.iter().enumerate() {
+            assert!(c.len() <= c.capacity(), "client {i} over capacity");
+        }
+        for (i, s) in self.shared.iter().enumerate() {
+            assert!(s.len() <= s.capacity(), "shared level {i} over capacity");
+            for b in s.iter() {
+                for (j, deeper) in self.shared.iter().enumerate().skip(i + 1) {
+                    assert!(
+                        !deeper.contains(b),
+                        "{b:?} resident in shared levels {i} and {j}"
+                    );
+                }
+                if self.clients.len() == 1 {
+                    assert!(
+                        !self.clients[0].contains(b),
+                        "exclusive caching: {b:?} at the client and in shared level {i}"
+                    );
+                }
+            }
+        }
+        // lint:allow(determinism) order-insensitive membership checks
+        for (b, &owner) in self.demoted_by.iter() {
+            assert!(
+                (owner as usize) < self.clients.len(),
+                "demoted_by owner {owner} out of range"
+            );
+            assert!(
+                self.shared.first().is_some_and(|s| s.contains(b)),
+                "demoted_by tracks {b:?} which is not in the first shared level"
+            );
+        }
+    }
+
+    /// Amortised feature-gated self-check; see DESIGN.md §5c.
+    #[cfg(feature = "debug_invariants")]
+    fn debug_validate(&mut self) {
+        self.tick += 1;
+        let total: usize = self.shared.iter().map(|s| s.len()).sum();
+        if total < 64 || self.tick.is_multiple_of(256) {
+            self.check_invariants();
         }
     }
 
@@ -210,6 +272,8 @@ impl MultiLevelPolicy for UniLru {
             }
             self.demote_chain(c, victim, &mut outcome.demotions);
         }
+        #[cfg(feature = "debug_invariants")]
+        self.debug_validate();
         outcome
     }
 

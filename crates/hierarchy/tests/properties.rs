@@ -35,6 +35,7 @@ proptest! {
                 r.block
             );
         }
+        uni.check_invariants();
     }
 
     /// uniLRU's per-level hit: the level index is determined by the LRU
@@ -112,6 +113,7 @@ proptest! {
         let mut uni = UniLru::multi_client(vec![3], vec![4], variant);
         let stats = simulate(&mut uni, &trace, 0);
         prop_assert_eq!(stats.references as usize, trace.len());
+        uni.check_invariants();
     }
 
     /// DemotionBuffer conserves demotions (hidden + exposed = inner) and

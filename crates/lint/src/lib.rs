@@ -1,0 +1,137 @@
+//! `ulc-lint` — a self-contained static-analysis pass over the workspace.
+//!
+//! The repo's headline guarantee is bit-identical simulator output for a
+//! given trace and seed. That guarantee has source-level preconditions
+//! (no iteration over randomly-ordered containers, no wall-clock reads,
+//! no ambient RNG) which `rustc` does not check. This crate enforces
+//! them, plus panic/unsafe/doc hygiene, with a hand-rolled lexer — no
+//! crates.io dependencies, in the same spirit as the vendored stand-ins.
+//!
+//! * [`lexer`] tokenises Rust source (tokens + comments, with lines);
+//! * [`rules`] implements the rule classes and the allowlist protocol;
+//! * [`lint_workspace`] walks `crates/*/src`, `src/` and `tests/` in
+//!   deterministic (sorted) order and returns every diagnostic.
+//!
+//! The `ulc-lint` binary prints `path:line: [rule] message` lines and
+//! exits non-zero if anything is flagged; `--json=PATH` additionally
+//! writes a machine-readable report for CI.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, addressable as `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (one of [`rules::ALL_RULES`]).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; used by the rule implementations.
+    pub fn new(file: &str, line: usize, rule: &str, message: &str) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Lints one source string under the rule set for `kind`. `path` labels
+/// the diagnostics and is not opened.
+pub fn lint_source(path: &str, src: &str, kind: rules::FileKind) -> Vec<Diagnostic> {
+    rules::check_source(path, src, kind)
+}
+
+/// Directories under the workspace root that are never linted: vendored
+/// stand-ins (external idiom, not ours), build output, and the linter's
+/// own deliberately-violating fixtures.
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "vendor" | "target" | "results" | ".git" | "fixtures")
+}
+
+/// Collects every `.rs` file to lint under `root`, sorted for
+/// deterministic output.
+fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                let name = p
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default();
+                if !skip_dir(name) {
+                    stack.push(p);
+                }
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `root` and returns every
+/// diagnostic, sorted by file then line. Vendored crates, build output
+/// and the fixture suite are skipped.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        let kind = rules::FileKind::classify(&rel);
+        diags.extend(rules::check_source(&rel, &src, kind));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_display_is_file_line_rule() {
+        let d = Diagnostic::new("a/b.rs", 7, "panic", "no");
+        assert_eq!(d.to_string(), "a/b.rs:7: [panic] no");
+    }
+
+    #[test]
+    fn diagnostics_serialize_to_json() {
+        let d = Diagnostic::new("a.rs", 1, "determinism", "m");
+        let s = serde_json::to_string(&d).expect("serializable");
+        assert!(s.contains("\"file\""), "{s}");
+        assert!(s.contains("determinism"), "{s}");
+    }
+}

@@ -1,0 +1,71 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! ulc-lint [--root=PATH] [--json=PATH]
+//! ```
+//!
+//! Prints one `path:line: [rule] message` line per finding and exits 1
+//! if anything is flagged. `--json=PATH` also writes the findings as a
+//! JSON array (always written, `[]` when clean) for CI consumption.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        if let Some(p) = arg.strip_prefix("--root=") {
+            root = PathBuf::from(p);
+        } else if let Some(p) = arg.strip_prefix("--json=") {
+            json_out = Some(PathBuf::from(p));
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("usage: ulc-lint [--root=PATH] [--json=PATH]");
+            return ExitCode::SUCCESS;
+        } else {
+            eprintln!("ulc-lint: unknown argument `{arg}`");
+            return ExitCode::from(2);
+        }
+    }
+
+    let diags = match ulc_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ulc-lint: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("ulc-lint: cannot create {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let json = match serde_json::to_string_pretty(&diags) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("ulc-lint: JSON encoding failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("ulc-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("ulc-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ulc-lint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,751 @@
+//! The lint rules, the allowlist protocol and the per-file driver.
+//!
+//! Four rule classes guard the repo's headline guarantees (see DESIGN.md
+//! §5c):
+//!
+//! * [`RULE_DETERMINISM`] — no iteration over `HashMap`/`HashSet` (their
+//!   order is seeded per-process, so any result derived from it breaks
+//!   the bit-identical-output guarantee), no `Instant::now`/`SystemTime`
+//!   and no `thread_rng` in simulator code;
+//! * [`RULE_UNSAFE`] — every `unsafe` token must be justified by a
+//!   `// SAFETY:` comment immediately above it;
+//! * [`RULE_PANIC`] — library code must not `unwrap()`, use `expect`
+//!   without a message, or `panic!`/`unreachable!`/`todo!`/
+//!   `unimplemented!`; the sanctioned form for unreachable states is
+//!   `expect("invariant: …")` with a string-literal message;
+//! * [`RULE_DOCS`] — public items in library code need doc comments.
+//!
+//! A diagnostic is suppressed by an allowlist comment on the same line or
+//! the line above the offending code:
+//!
+//! ```text
+//! // lint:allow(determinism) accumulation is order-insensitive
+//! for (_, &o) in self.owner.iter() { alloc[o as usize] += 1; }
+//! ```
+//!
+//! `// lint:allow-file(<rule>) reason` suppresses a rule for the whole
+//! file. A reason is mandatory; a malformed or reason-less allow comment
+//! is itself reported under the `allow-syntax` rule.
+
+use crate::lexer::{lex, Comment, CommentStyle, LexedFile, Token, TokenKind};
+use crate::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Rule name: deterministic-iteration and wall-clock/ambient-RNG hygiene.
+pub const RULE_DETERMINISM: &str = "determinism";
+/// Rule name: `unsafe` must carry a `// SAFETY:` comment.
+pub const RULE_UNSAFE: &str = "unsafe-comment";
+/// Rule name: panic hygiene in library code.
+pub const RULE_PANIC: &str = "panic";
+/// Rule name: doc coverage of public items.
+pub const RULE_DOCS: &str = "missing-docs";
+/// Rule name: malformed allowlist comments.
+pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+
+/// Every rule the pass knows, in reporting order.
+pub const ALL_RULES: [&str; 5] = [
+    RULE_DETERMINISM,
+    RULE_UNSAFE,
+    RULE_PANIC,
+    RULE_DOCS,
+    RULE_ALLOW_SYNTAX,
+];
+
+/// How a file participates in the rule set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// A library source file (`crates/*/src/**`, excluding `bin/`):
+    /// every rule applies.
+    Library,
+    /// A binary source file (`src/bin/**`, `src/main.rs`): determinism and
+    /// unsafe hygiene apply; panic and doc coverage do not (a CLI may
+    /// abort and needs no rustdoc surface).
+    Binary,
+    /// Tests, benches, examples and fixtures: only unsafe hygiene applies
+    /// (tests are free to unwrap and to iterate maps they assert over).
+    Test,
+}
+
+impl FileKind {
+    /// Classifies a repo-relative path.
+    pub fn classify(path: &str) -> FileKind {
+        let p = path.replace('\\', "/");
+        if p.contains("/tests/")
+            || p.contains("/benches/")
+            || p.contains("/examples/")
+            || p.starts_with("tests/")
+            || p.starts_with("examples/")
+        {
+            FileKind::Test
+        } else if p.contains("/bin/") || p.ends_with("/main.rs") || p == "main.rs" {
+            FileKind::Binary
+        } else {
+            FileKind::Library
+        }
+    }
+}
+
+/// Iteration-producing methods on map types (non-deterministic order).
+const MAP_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Map methods whose result is order-independent, allowed in `for` heads.
+const MAP_SAFE_METHODS: [&str; 8] = [
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "contains_key",
+    "contains",
+    "entry",
+    "capacity",
+];
+
+const ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+/// One parsed allowlist comment.
+#[derive(Clone, Debug)]
+struct Allow {
+    rule: String,
+    whole_file: bool,
+    /// Diagnostics on these lines are suppressed (empty for whole-file).
+    lines: (usize, usize),
+}
+
+/// Lints one file's source text. `path` is used only for labelling
+/// diagnostics; `kind` decides which rules run.
+pub fn check_source(path: &str, src: &str, kind: FileKind) -> Vec<Diagnostic> {
+    let file = lex(src);
+    let in_test = test_token_mask(&file.tokens);
+    let mut diags = Vec::new();
+
+    let (allows, mut allow_diags) = parse_allows(path, &file.comments);
+    diags.append(&mut allow_diags);
+
+    if matches!(kind, FileKind::Library | FileKind::Binary) {
+        determinism_rule(path, &file, &in_test, &mut diags);
+    }
+    unsafe_rule(path, &file, &mut diags);
+    if kind == FileKind::Library {
+        panic_rule(path, &file, &in_test, &mut diags);
+        docs_rule(path, &file, &in_test, &mut diags);
+    }
+
+    diags.retain(|d| {
+        d.rule == RULE_ALLOW_SYNTAX
+            || !allows.iter().any(|a| {
+                a.rule == d.rule && (a.whole_file || (a.lines.0 <= d.line && d.line <= a.lines.1))
+            })
+    });
+    diags.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    diags
+}
+
+/// Parses `lint:allow(...)` comments; returns the allows plus syntax
+/// diagnostics for malformed ones.
+fn parse_allows(path: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        if c.style != CommentStyle::Line {
+            continue;
+        }
+        let text = c.text.trim();
+        let Some(rest) = text
+            .strip_prefix("lint:allow-file(")
+            .map(|r| (r, true))
+            .or_else(|| text.strip_prefix("lint:allow(").map(|r| (r, false)))
+        else {
+            if text.starts_with("lint:allow") {
+                diags.push(Diagnostic::new(
+                    path,
+                    c.line,
+                    RULE_ALLOW_SYNTAX,
+                    "malformed allow comment: expected `lint:allow(<rule>) reason`",
+                ));
+            }
+            continue;
+        };
+        let (rest, whole_file) = rest;
+        let Some((rule, reason)) = rest.split_once(')') else {
+            diags.push(Diagnostic::new(
+                path,
+                c.line,
+                RULE_ALLOW_SYNTAX,
+                "unclosed rule name in allow comment",
+            ));
+            continue;
+        };
+        let rule = rule.trim();
+        if !ALL_RULES.contains(&rule) {
+            diags.push(Diagnostic::new(
+                path,
+                c.line,
+                RULE_ALLOW_SYNTAX,
+                &format!("unknown rule `{rule}` in allow comment"),
+            ));
+            continue;
+        }
+        if reason.trim().is_empty() {
+            diags.push(Diagnostic::new(
+                path,
+                c.line,
+                RULE_ALLOW_SYNTAX,
+                &format!("allow comment for `{rule}` needs a reason"),
+            ));
+            continue;
+        }
+        allows.push(Allow {
+            rule: rule.to_string(),
+            whole_file,
+            // Covers its own line (trailing style) and the next (banner
+            // style above the offending statement).
+            lines: (c.line, c.end_line + 1),
+        });
+    }
+    (allows, diags)
+}
+
+/// Marks every token inside a `#[cfg(test)]` or `#[test]` item, so the
+/// in-library test modules and unit tests are exempt from the library
+/// rules, exactly like files under `tests/`.
+fn test_token_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = match matching(tokens, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            let body = &tokens[i + 2..attr_end];
+            let is_test_attr = (body.len() == 1 && body[0].is_ident("test"))
+                || (body.first().is_some_and(|t| t.is_ident("cfg"))
+                    && body.iter().any(|t| t.is_ident("test")));
+            if is_test_attr {
+                // The attribute governs the next item: everything through
+                // the item's closing brace (or terminating semicolon).
+                let mut j = attr_end + 1;
+                // Skip further attributes on the same item.
+                while j < tokens.len()
+                    && tokens[j].is_punct('#')
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    match matching(tokens, j + 1, '[', ']') {
+                        Some(e) => j = e + 1,
+                        None => return mask,
+                    }
+                }
+                let mut end = tokens.len() - 1;
+                for (k, t) in tokens.iter().enumerate().skip(j) {
+                    if t.is_punct(';') {
+                        end = k;
+                        break;
+                    }
+                    if t.is_punct('{') {
+                        end = matching(tokens, k, '{', '}').unwrap_or(tokens.len() - 1);
+                        break;
+                    }
+                }
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the punct closing the group opened at `open_idx`, or `None`.
+fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Names bound to `HashMap`/`HashSet` values in this file: struct fields,
+/// `let` bindings and parameters, found from type ascriptions
+/// (`name: HashMap<…>`) and constructor assignments
+/// (`name = HashMap::new()`).
+fn map_typed_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over `&`, `mut` and path prefixes to the binding site.
+        let mut j = i;
+        while j > 0 {
+            let prev = &tokens[j - 1];
+            if prev.is_punct('&') || prev.is_ident("mut") || prev.kind == TokenKind::Lifetime {
+                j -= 1;
+            } else if prev.is_punct(':')
+                && j >= 2
+                && tokens[j - 2].is_punct(':')
+            {
+                // `std::collections::HashMap` — step over the whole path.
+                j -= 2;
+                while j > 0 && tokens[j - 1].kind == TokenKind::Ident {
+                    if j >= 3 && tokens[j - 2].is_punct(':') && tokens[j - 3].is_punct(':') {
+                        j -= 3;
+                    } else {
+                        j -= 1;
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if j >= 2 && tokens[j - 1].is_punct(':') && tokens[j - 2].kind == TokenKind::Ident {
+            // `name: HashMap<…>` (field, param or struct-literal init).
+            names.insert(tokens[j - 2].text.clone());
+        } else if j >= 2 && tokens[j - 1].is_punct('=') && tokens[j - 2].kind == TokenKind::Ident {
+            // `name = HashMap::new()` / `= HashMap::from(…)`.
+            names.insert(tokens[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+fn determinism_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    let maps = map_typed_names(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        // Wall clocks and ambient RNG.
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            let is_now_call = tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"));
+            if is_now_call || t.is_ident("SystemTime") {
+                diags.push(Diagnostic::new(
+                    path,
+                    t.line,
+                    RULE_DETERMINISM,
+                    &format!("`{}` reads the wall clock; simulator outputs must not depend on it", t.text),
+                ));
+            }
+            continue;
+        }
+        if t.is_ident("thread_rng") {
+            diags.push(Diagnostic::new(
+                path,
+                t.line,
+                RULE_DETERMINISM,
+                "`thread_rng` is unseeded; use `ulc_trace::seeded_rng` instead",
+            ));
+            continue;
+        }
+        // `map.iter()`-family calls on known map-typed names.
+        if t.kind == TokenKind::Ident
+            && maps.contains(&t.text)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+        {
+            if let Some(m) = tokens.get(i + 2) {
+                if MAP_ITER_METHODS.contains(&m.text.as_str())
+                    && tokens.get(i + 3).is_some_and(|p| p.is_punct('('))
+                {
+                    diags.push(Diagnostic::new(
+                        path,
+                        m.line,
+                        RULE_DETERMINISM,
+                        &format!(
+                            "`{}.{}()` iterates a HashMap/HashSet in non-deterministic order; \
+                             use a BTreeMap/sorted keys or justify with an allow comment",
+                            t.text, m.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for … in map { … }` / `for … in &map { … }` over a bare map.
+        if t.is_ident("for") {
+            let Some(in_idx) = tokens[i..]
+                .iter()
+                .position(|x| x.is_ident("in"))
+                .map(|p| p + i)
+            else {
+                continue;
+            };
+            let mut k = in_idx + 1;
+            let mut depth = 0usize;
+            while let Some(x) = tokens.get(k) {
+                if depth == 0 && x.is_punct('{') {
+                    break;
+                }
+                match () {
+                    _ if x.is_punct('(') || x.is_punct('[') || x.is_punct('{') => depth += 1,
+                    _ if x.is_punct(')') || x.is_punct(']') || x.is_punct('}') => {
+                        depth = depth.saturating_sub(1)
+                    }
+                    _ => {}
+                }
+                if depth == 0 && x.kind == TokenKind::Ident && maps.contains(&x.text) {
+                    let followed_by_dot = tokens.get(k + 1).is_some_and(|n| n.is_punct('.'));
+                    let safe_call = followed_by_dot
+                        && tokens
+                            .get(k + 2)
+                            .is_some_and(|m| MAP_SAFE_METHODS.contains(&m.text.as_str()));
+                    if !followed_by_dot {
+                        diags.push(Diagnostic::new(
+                            path,
+                            x.line,
+                            RULE_DETERMINISM,
+                            &format!(
+                                "`for … in {}` iterates a HashMap/HashSet in \
+                                 non-deterministic order",
+                                x.text
+                            ),
+                        ));
+                    } else if !safe_call {
+                        // `map.iter()` inside a for-head is caught by the
+                        // method check above; anything else unknown is
+                        // left alone to avoid false positives.
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+fn unsafe_rule(path: &str, file: &LexedFile, diags: &mut Vec<Diagnostic>) {
+    for t in &file.tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let justified = file.comments.iter().any(|c| {
+            c.style == CommentStyle::Line
+                && c.text.trim().starts_with("SAFETY:")
+                && c.end_line <= t.line
+                && t.line <= c.end_line + 3
+        });
+        if !justified {
+            diags.push(Diagnostic::new(
+                path,
+                t.line,
+                RULE_UNSAFE,
+                "`unsafe` without a `// SAFETY:` comment on the preceding lines",
+            ));
+        }
+    }
+}
+
+fn panic_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let preceded_by_dot = i > 0 && tokens[i - 1].is_punct('.');
+        if preceded_by_dot && t.text == "unwrap" && tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            diags.push(Diagnostic::new(
+                path,
+                t.line,
+                RULE_PANIC,
+                "`unwrap()` in library code; use `expect(\"invariant: …\")` or return an error",
+            ));
+            continue;
+        }
+        if preceded_by_dot && t.text == "expect" && tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            let arg = tokens.get(i + 2);
+            let documented = arg.is_some_and(|a| a.kind == TokenKind::Str && a.text.len() > 2);
+            if !documented {
+                diags.push(Diagnostic::new(
+                    path,
+                    t.line,
+                    RULE_PANIC,
+                    "`expect` needs a string-literal message documenting the invariant",
+                ));
+            }
+            continue;
+        }
+        if ["panic", "unreachable", "todo", "unimplemented"].contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|p| p.is_punct('!'))
+            && !preceded_by_dot
+        {
+            diags.push(Diagnostic::new(
+                path,
+                t.line,
+                RULE_PANIC,
+                &format!("`{}!` in library code; prefer an assert with a message or an error return", t.text),
+            ));
+        }
+    }
+}
+
+fn docs_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] || !t.is_ident("pub") {
+            continue;
+        }
+        // Resolve the item keyword after `pub`, skipping `(crate)` &c.
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|x| x.is_punct('(')) {
+            // `pub(crate)` / `pub(super)` items are not public API.
+            continue;
+        }
+        while tokens
+            .get(j)
+            .is_some_and(|x| x.is_ident("unsafe") || x.is_ident("async") || x.is_ident("extern"))
+        {
+            j += 1;
+        }
+        let Some(kw) = tokens.get(j) else { continue };
+        let is_item = ITEM_KEYWORDS.contains(&kw.text.as_str());
+        let is_field = kw.kind == TokenKind::Ident
+            && !is_item
+            && kw.text != "use"
+            && tokens.get(j + 1).is_some_and(|x| x.is_punct(':'))
+            && !tokens.get(j + 2).is_some_and(|x| x.is_punct(':'));
+        if !is_item && !is_field {
+            continue;
+        }
+        let what = if is_field {
+            format!("field `{}`", kw.text)
+        } else {
+            let name = tokens
+                .get(j + 1)
+                .map(|x| x.text.clone())
+                .unwrap_or_default();
+            format!("{} `{name}`", kw.text)
+        };
+        // The doc comment must end directly above the item or its first
+        // attribute.
+        let mut first_line = t.line;
+        let mut k = i;
+        while k >= 2 && tokens[k - 1].is_punct(']') {
+            // Walk back over an attribute `#[ … ]`.
+            let mut depth = 0usize;
+            let mut m = k - 1;
+            loop {
+                if tokens[m].is_punct(']') {
+                    depth += 1;
+                } else if tokens[m].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if m == 0 {
+                    break;
+                }
+                m -= 1;
+            }
+            if m >= 1 && tokens[m - 1].is_punct('#') {
+                first_line = tokens[m - 1].line;
+                k = m - 1;
+            } else {
+                break;
+            }
+        }
+        let documented = file.comments.iter().any(|c| {
+            (c.style == CommentStyle::DocOuter && c.end_line + 1 >= first_line && c.line < first_line)
+                || (c.style == CommentStyle::DocInner && kw.is_ident("mod"))
+        });
+        if !documented {
+            diags.push(Diagnostic::new(
+                path,
+                t.line,
+                RULE_DOCS,
+                &format!("public {what} has no doc comment"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        check_source("x.rs", src, FileKind::Library)
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(FileKind::classify("crates/cache/src/lru.rs"), FileKind::Library);
+        assert_eq!(FileKind::classify("crates/cache/tests/p.rs"), FileKind::Test);
+        assert_eq!(FileKind::classify("crates/bench/benches/m.rs"), FileKind::Test);
+        assert_eq!(FileKind::classify("crates/bench/src/bin/fig1.rs"), FileKind::Binary);
+        assert_eq!(FileKind::classify("tests/paper_goals.rs"), FileKind::Test);
+        assert_eq!(FileKind::classify("src/lib.rs"), FileKind::Library);
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged() {
+        let src = "struct S { m: HashMap<u32, u32> }\nimpl S { fn f(&self) { for v in self.m.values() { let _ = v; } } }\n";
+        let d = lint(src);
+        assert_eq!(rules_of(&d), [RULE_DETERMINISM]);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn bare_for_over_map_is_flagged() {
+        let src = "fn f() { let m = HashMap::new(); for (k, v) in &m { let _ = (k, v); } }\n";
+        let d = lint(src);
+        assert_eq!(rules_of(&d), [RULE_DETERMINISM]);
+    }
+
+    #[test]
+    fn deterministic_map_use_is_clean() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); let _ = m.get(&1); let _ = m.len(); }\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn vec_iteration_is_clean() {
+        let src = "fn f(v: &Vec<u32>) -> u32 { v.iter().sum() }\n";
+        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_DETERMINISM).collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn clock_and_thread_rng_are_flagged() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); let _ = (t, r); }\n";
+        assert_eq!(rules_of(&lint(src)), [RULE_DETERMINISM, RULE_DETERMINISM]);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_next_line() {
+        let src = "fn f() { let m = HashMap::new();\n// lint:allow(determinism) order-insensitive fold\nfor v in &m { let _ = v; } }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let src = "// lint:allow(determinism)\nfn f() {}\n";
+        assert_eq!(rules_of(&lint(src)), [RULE_ALLOW_SYNTAX]);
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_reported() {
+        let src = "// lint:allow(made-up) because\nfn f() {}\n";
+        assert_eq!(rules_of(&lint(src)), [RULE_ALLOW_SYNTAX]);
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let d = lint(src);
+        assert!(rules_of(&d).contains(&RULE_UNSAFE), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_is_clean() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_UNSAFE).collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_and_bare_expect_are_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>, m: String) -> u8 { x.expect(&m) }\n";
+        assert_eq!(rules_of(&lint(src)), [RULE_PANIC, RULE_PANIC]);
+    }
+
+    #[test]
+    fn expect_with_message_is_clean() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.expect(\"invariant: present\") }\n";
+        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_PANIC).collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let src = "fn f() { panic!(\"boom\") }\nfn g() { unreachable!() }\n";
+        assert_eq!(rules_of(&lint(src)), [RULE_PANIC, RULE_PANIC]);
+    }
+
+    #[test]
+    fn test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) -> u8 { x.unwrap() }\n    fn g() { let m = HashMap::new(); for v in &m { let _ = v; } }\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn test_fn_attr_is_exempt() {
+        let src = "#[test]\nfn f() { let x: Option<u8> = None; x.unwrap(); }\n";
+        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_PANIC).collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn undocumented_pub_items_are_flagged() {
+        let src = "pub fn f() {}\npub struct S { pub x: u32 }\n";
+        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_DOCS).collect();
+        assert_eq!(d.len(), 3, "{d:?}"); // fn f, struct S, field x
+    }
+
+    #[test]
+    fn documented_and_crate_private_items_are_clean() {
+        let src = "/// Does f.\npub fn f() {}\npub(crate) fn g() {}\nfn h() {}\npub use std::fmt;\n/// S.\n#[derive(Debug)]\npub struct S {\n    /// X.\n    pub x: u32,\n}\n";
+        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_DOCS).collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn binary_kind_skips_panic_and_docs() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(check_source("src/bin/t.rs", src, FileKind::Binary).is_empty());
+    }
+
+    #[test]
+    fn test_kind_still_checks_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let d = check_source("tests/t.rs", src, FileKind::Test);
+        assert_eq!(rules_of(&d), [RULE_UNSAFE]);
+    }
+
+    #[test]
+    fn allow_file_suppresses_everywhere() {
+        let src = "// lint:allow-file(panic) exploratory tool\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_PANIC).collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn string_contents_do_not_trip_rules() {
+        let src = "fn f() -> &'static str { \"call .unwrap() and panic! on HashMap\" }\n";
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_PANIC || d.rule == RULE_DETERMINISM)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,24 @@
+// Allowlisted cases for the `determinism` rule: the violations are real
+// but justified, so the file must lint clean.
+use std::collections::HashMap;
+
+struct Sim {
+    table: HashMap<u64, u64>,
+}
+
+impl Sim {
+    fn histogram(&self) -> u64 {
+        let mut acc = 0;
+        // lint:allow(determinism) addition is commutative; order cannot leak
+        for (_, v) in self.table.iter() {
+            acc += *v;
+        }
+        acc
+    }
+}
+
+fn timing() -> f64 {
+    // lint:allow(determinism) harness wall time, reported but never simulated
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

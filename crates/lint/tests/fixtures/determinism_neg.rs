@@ -1,0 +1,45 @@
+// Negative cases for the `determinism` rule: nothing here may be
+// flagged. Point lookups, size queries and Vec/BTreeMap iteration are
+// all order-safe.
+use std::collections::{BTreeMap, HashMap};
+
+struct Sim {
+    table: HashMap<u64, u64>,
+    ordered: BTreeMap<u64, u64>,
+}
+
+impl Sim {
+    fn lookups(&self) -> (Option<&u64>, usize, bool) {
+        (self.table.get(&1), self.table.len(), self.table.is_empty())
+    }
+
+    fn ordered_sum(&self) -> u64 {
+        let mut acc = 0;
+        for (_, v) in self.ordered.iter() {
+            acc += *v;
+        }
+        acc
+    }
+
+    fn vec_iteration(items: &[u64]) -> u64 {
+        let mut acc = 0;
+        for v in items.iter() {
+            acc += *v;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_iterate_maps() {
+        let m: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in m.iter() {
+            let _ = (k, v);
+        }
+        let _ = std::time::Instant::now();
+    }
+}

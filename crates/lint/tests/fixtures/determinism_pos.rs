@@ -1,0 +1,36 @@
+// Positive cases for the `determinism` rule: every construct below must
+// be flagged with the line numbers asserted in tests/fixtures.rs.
+use std::collections::HashMap;
+
+struct Sim {
+    table: HashMap<u64, u64>,
+}
+
+impl Sim {
+    fn order_sensitive_sum(&self) -> u64 {
+        let mut acc = 0;
+        for (_, v) in self.table.iter() {
+            acc = acc.wrapping_mul(31).wrapping_add(*v);
+        }
+        acc
+    }
+
+    fn first_key(&self) -> Option<u64> {
+        self.table.keys().next().copied()
+    }
+}
+
+fn bare_for_loop() {
+    let seen = HashMap::new();
+    for entry in &seen {
+        let _: &(u64, u64) = entry;
+    }
+}
+
+fn wall_clock() -> std::time::Instant {
+    Instant::now()
+}
+
+fn ambient_rng() -> u64 {
+    thread_rng()
+}

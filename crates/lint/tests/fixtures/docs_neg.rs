@@ -1,0 +1,20 @@
+// Negative cases for the `missing-docs` rule: documented items,
+// crate-private items, re-exports and attribute-separated doc comments
+// are all fine.
+
+/// A documented function.
+pub fn documented_fn() {}
+
+/// A documented struct.
+#[derive(Debug, Clone)]
+pub struct Documented {
+    /// A documented field.
+    pub field: u32,
+    private_field: u32,
+}
+
+pub(crate) fn crate_private() {}
+
+fn fully_private() {}
+
+pub use std::collections::BTreeMap;

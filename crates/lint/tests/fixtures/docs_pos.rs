@@ -1,0 +1,13 @@
+// Positive cases for the `missing-docs` rule.
+
+pub fn undocumented_fn() {}
+
+pub struct Undocumented {
+    pub field: u32,
+}
+
+pub enum AlsoUndocumented {
+    Variant,
+}
+
+pub const LIMIT: usize = 8;

@@ -1,0 +1,14 @@
+// Allowlisted cases for the `panic` rule, including a whole-file allow
+// exercised by two separate violations.
+// lint:allow-file(panic) exploratory report helper; aborting is acceptable
+
+fn first(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn second(x: Option<u8>) -> u8 {
+    match x {
+        Some(v) => v,
+        None => panic!("missing"),
+    }
+}

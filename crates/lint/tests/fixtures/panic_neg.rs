@@ -1,0 +1,27 @@
+// Negative cases for the `panic` rule: expect-with-message is the
+// sanctioned form, asserts are fine, and tests may unwrap freely.
+
+fn documented_expect(x: Option<u8>) -> u8 {
+    x.expect("invariant: entry was inserted by the caller")
+}
+
+fn asserts_are_fine(len: usize, cap: usize) {
+    assert!(len <= cap, "length within capacity");
+    debug_assert_eq!(len.min(cap), len);
+}
+
+fn error_return(x: Option<u8>) -> Result<u8, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let x: Option<u8> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        if x.is_none() {
+            panic!("impossible");
+        }
+    }
+}

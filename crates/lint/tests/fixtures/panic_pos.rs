@@ -1,0 +1,25 @@
+// Positive cases for the `panic` rule.
+
+fn direct_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn bare_expect(x: Option<u8>, msg: String) -> u8 {
+    x.expect(&msg)
+}
+
+fn empty_expect(x: Option<u8>) -> u8 {
+    x.expect("")
+}
+
+fn explicit_panic() {
+    panic!("library code must not abort")
+}
+
+fn marker_macros(x: u8) -> u8 {
+    match x {
+        0 => todo!(),
+        1 => unimplemented!(),
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,16 @@
+// Negative cases for the `unsafe-comment` rule: every unsafe is
+// justified, and safe code mentioning unsafe in strings is ignored.
+
+fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p points at a live byte
+    unsafe { *p }
+}
+
+// SAFETY: the caller must pass a pointer to writable memory
+unsafe fn write_raw(p: *mut u8) {
+    *p = 0;
+}
+
+fn not_actually_unsafe() -> &'static str {
+    "unsafe is just a word inside this string"
+}

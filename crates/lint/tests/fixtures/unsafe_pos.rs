@@ -1,0 +1,19 @@
+// Positive cases for the `unsafe-comment` rule.
+
+fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe fn no_justification(p: *mut u8) {
+    *p = 0;
+}
+
+fn stale_comment(p: *const u8) -> u8 {
+    // SAFETY: this comment is too far away to count as justification,
+    // because more than three lines separate it from the unsafe block
+    // below, so the rule must still fire.
+    //
+    //
+    let _ = p;
+    unsafe { *p }
+}

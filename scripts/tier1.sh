@@ -7,5 +7,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+cargo run -q -p ulc-lint -- --json=results/lint.json
+cargo test --features debug_invariants -q
 
 echo "tier1: ok"
