@@ -1,18 +1,40 @@
 //! Runs every figure study concurrently through the sweep engine and
 //! prints a machine-readable timing summary.
 //!
-//! Usage: `sweep [--scale=smoke|default|full] [--json=<path>]`.
+//! Usage: `sweep [--scale=smoke|default|full] [--json=<path>]
+//! [--faults=<scenario>]`.
 //!
 //! The figure renders go to stdout in a fixed order; the
 //! [`ulc_bench::sweep::SweepSummary`] (threads, wall/cpu milliseconds,
 //! per-task timings) is printed as JSON to stderr and, with `--json=`,
 //! written to the given path for dashboards and regression tracking.
+//!
+//! `--faults=` takes a [`FaultScenario`] DSL string (e.g.
+//! `seed=7,dup=0.005,delay=0.02,max_delay=8,crash=500@1`) used as the
+//! base scenario of the degradation study — the grid varies its drop
+//! rate. Without the flag the study runs on `FaultScenario::mild(1789)`,
+//! the seeded scenario the golden regression test pins.
 
 use ulc_bench::sweep::Sweep;
-use ulc_bench::{ablation, fig2, fig3, fig6, fig7, maybe_write_json, table1, Scale};
+use ulc_bench::{ablation, degradation, fig2, fig3, fig6, fig7, maybe_write_json, table1, Scale};
+use ulc_hierarchy::FaultScenario;
+
+/// Parses `--faults=<dsl>`, defaulting to the pinned mild scenario.
+fn fault_scenario_from_args() -> FaultScenario {
+    for arg in std::env::args() {
+        if let Some(dsl) = arg.strip_prefix("--faults=") {
+            return dsl
+                .parse()
+                // lint:allow(panic) CLI argument validation; aborting with a clear message is the contract
+                .unwrap_or_else(|e| panic!("bad --faults scenario: {e}"));
+        }
+    }
+    FaultScenario::mild(1789)
+}
 
 fn main() {
     let scale = Scale::from_args();
+    let faults = fault_scenario_from_args();
     let mut sweep: Sweep<String> = Sweep::new();
     sweep.add("table1", move || table1::render(&table1::run(scale)));
     sweep.add("fig2", move || fig2::render(&fig2::run(scale)));
@@ -21,6 +43,9 @@ fn main() {
     sweep.add("fig7", move || {
         let points = fig7::run(scale);
         format!("{}\n{}", fig7::render(&points), fig7::render_detail(&points))
+    });
+    sweep.add("degradation", move || {
+        degradation::render(&degradation::run(scale, &faults))
     });
     sweep.add("ablation", move || {
         let mut s = String::new();

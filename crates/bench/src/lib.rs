@@ -5,6 +5,8 @@
 //! comparison, [`fig7`] the multi-client server-size sweep, and
 //! [`ablation`] our additional design-choice studies. Each module builds
 //! the workloads, runs the protocols and returns plain data structures;
+//! [`degradation`] adds our fault-injection study (hit rate vs message
+//! drop rate over the `FaultyPlane`);
 //! the `src/bin` entry points print them in the layout of the paper's
 //! tables and figures. The grid loops inside each module fan their cells
 //! across cores through [`sweep::par_map`], and the `sweep` binary runs
@@ -18,6 +20,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod degradation;
 pub mod fig2;
 pub mod fig3;
 pub mod fig6;

@@ -20,11 +20,31 @@
 //! * **Allocation** is fully dynamic: a client's server share is just the
 //!   set of gLRU entries it owns, and shrinks only through replacement
 //!   notifications. Client-side metadata never caps its own server share.
+//!
+//! ## Message plane
+//!
+//! Every client↔server exchange crosses a
+//! [`MessagePlane`](ulc_hierarchy::MessagePlane): link `c` is client `c`'s
+//! connection to the server. The demand read is a synchronous RPC; the
+//! client's `Retrieve(b, ·, 2)` and `Demote(b, 1, 2)` directives are
+//! asynchronous `Down` messages drained into the server's gLRU; delayed
+//! replacement notifications are `Up` messages delivered with the
+//! client's next successful response — exactly the paper's piggybacking,
+//! made explicit. On the default `ReliablePlane` everything arrives
+//! within the access that produced it, reproducing the historical
+//! in-line behaviour bit for bit. On a lossy `FaultyPlane` the client's
+//! status table and the server drift apart; the drift is *detected* on
+//! the next authoritative response (a NACK: the server does not hold a
+//! believed block) and *repaired* by [`UlcMulti::reconcile_client`] —
+//! a status-table re-sync sweep plus a conservative single-residency
+//! repair. A server crash-and-cold-restart marks every client dirty so
+//! each rebuilds its status table on its next access.
 
 use crate::stack::{Placement, UniLruStack};
 use std::collections::HashMap;
 use ulc_cache::LruStack;
-use ulc_hierarchy::{AccessOutcome, MultiLevelPolicy};
+use ulc_hierarchy::plane::{Direction, Message, MessagePlane, ReliablePlane, RpcFate};
+use ulc_hierarchy::{AccessOutcome, FaultSummary, MultiLevelPolicy};
 use ulc_trace::{BlockId, ClientId};
 
 /// The server's global LRU stack with per-block owners.
@@ -113,8 +133,9 @@ struct CacheRequestEffect {
 #[derive(Debug)]
 struct ClientState {
     stack: UniLruStack,
-    /// Replacement notifications waiting for this client's next request.
-    pending: Vec<BlockId>,
+    /// Status table known stale (e.g. after a server cold restart): run a
+    /// reconciliation pass before the next access is served.
+    dirty: bool,
 }
 
 /// How a client treats history-less (cold) blocks when the shared server
@@ -164,7 +185,8 @@ impl UlcMultiConfig {
     }
 }
 
-/// The multi-client ULC protocol over a two-level hierarchy.
+/// The multi-client ULC protocol over a two-level hierarchy, generic over
+/// the transport its directives, retrievals and notifications cross.
 ///
 /// # Examples
 ///
@@ -179,10 +201,15 @@ impl UlcMultiConfig {
 /// assert!(stats.total_hit_rate() > 0.0);
 /// ```
 #[derive(Debug)]
-pub struct UlcMulti {
+pub struct UlcMulti<P: MessagePlane = ReliablePlane> {
     clients: Vec<ClientState>,
     server: GlobalLru,
     claim_rule: ClaimRule,
+    config: UlcMultiConfig,
+    plane: P,
+    /// Protocol-side recovery counters (the plane keeps the transport
+    /// counters itself).
+    recovery: FaultSummary,
     #[cfg(feature = "debug_invariants")]
     tick: u64,
 }
@@ -210,16 +237,41 @@ impl UlcMulti {
             .iter()
             .map(|&c| ClientState {
                 stack: UniLruStack::new(vec![c, config.server_capacity]),
-                pending: Vec::new(),
+                dirty: false,
             })
             .collect();
         UlcMulti {
             clients,
             server: GlobalLru::new(config.server_capacity),
             claim_rule: config.claim_rule,
+            config,
+            plane: ReliablePlane::new(),
+            recovery: FaultSummary::default(),
             #[cfg(feature = "debug_invariants")]
             tick: 0,
         }
+    }
+}
+
+impl<P: MessagePlane> UlcMulti<P> {
+    /// Moves the protocol onto a different message plane (used to swap in
+    /// a `FaultyPlane` before a run starts).
+    pub fn with_plane<Q: MessagePlane>(self, plane: Q) -> UlcMulti<Q> {
+        UlcMulti {
+            clients: self.clients,
+            server: self.server,
+            claim_rule: self.claim_rule,
+            config: self.config,
+            plane,
+            recovery: self.recovery,
+            #[cfg(feature = "debug_invariants")]
+            tick: self.tick,
+        }
+    }
+
+    /// The message plane the protocol runs on.
+    pub fn plane(&self) -> &P {
+        &self.plane
     }
 
     /// Number of clients.
@@ -248,14 +300,19 @@ impl UlcMulti {
     /// client holds privately is never also its own server copy —
     /// single-residency across the hierarchy), notification conservation
     /// (a believed server placement is either really cached there or its
-    /// invalidation is still in flight), and server/owner bookkeeping.
+    /// invalidation is still in flight on the message plane), and
+    /// server/owner bookkeeping.
+    ///
+    /// On a lossy plane these guarantees only hold once traffic has
+    /// settled and [`UlcMulti::reconcile`] has run; mid-run, use
+    /// [`UlcMulti::check_recoverable_invariants`].
     ///
     /// # Panics
     ///
     /// Panics if an invariant is violated.
     pub fn check_invariants(&self) {
+        self.check_recoverable_invariants();
         for (ci, c) in self.clients.iter().enumerate() {
-            c.stack.check_invariants();
             for b in c.stack.level_blocks(0) {
                 assert_ne!(
                     self.server.owner_of(b),
@@ -263,12 +320,32 @@ impl UlcMulti {
                     "exclusive caching: {b:?} is resident at client {ci} yet owned by it at the server"
                 );
             }
+            let in_flight = self.plane.queued(ci, Direction::Up);
             for b in c.stack.level_blocks(1) {
                 assert!(
-                    self.server.contains(b) || c.pending.contains(&b),
+                    self.server.contains(b)
+                        || in_flight
+                            .iter()
+                            .any(|m| matches!(m, Message::EvictNotice { block } if *block == b)),
                     "client {ci} believes {b:?} is at the server with no pending notice"
                 );
             }
+        }
+    }
+
+    /// The invariants that hold at *every* instant even under message
+    /// loss, duplication, reordering and crashes: per-client stack
+    /// consistency (a local state machine faults cannot corrupt) and
+    /// server capacity/owner bookkeeping. The cross-machine agreement
+    /// checked by [`UlcMulti::check_invariants`] is only guaranteed after
+    /// [`UlcMulti::settle`] + [`UlcMulti::reconcile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recoverable invariant is violated.
+    pub fn check_recoverable_invariants(&self) {
+        for c in self.clients.iter() {
+            c.stack.check_invariants();
         }
         assert!(self.server.stack.len() <= self.server.capacity);
         assert_eq!(self.server.stack.len(), self.server.owner.len());
@@ -286,31 +363,36 @@ impl UlcMulti {
     fn debug_validate(&mut self) {
         self.tick += 1;
         if self.server.stack.len() < 64 || self.tick.is_multiple_of(256) {
-            self.check_invariants();
-        }
-    }
-
-    /// Routes a server replacement notification.
-    fn notify_replacement(&mut self, victim: BlockId, owner: u32, current: u32) {
-        if owner == current {
-            // Piggybacked on this very response: applied immediately.
-            Self::apply_replacement(&mut self.clients[owner as usize], victim);
-        } else {
-            self.clients[owner as usize].pending.push(victim);
+            if self.plane.lossy() {
+                self.check_recoverable_invariants();
+            } else {
+                self.check_invariants();
+            }
         }
     }
 
     /// Applies the side effects of one gLRU cache request made by
     /// `requester` for `block`: the replacement notification, and the
     /// share-shrink notification to the previous owner when ownership of a
-    /// shared block moved. Both are delayed (piggybacked) messages for any
-    /// client other than the requester.
+    /// shared block moved. The requester's own victim is applied
+    /// immediately (the notice piggybacks on its in-progress exchange);
+    /// everyone else's rides the plane as an `Up` eviction notice
+    /// delivered with their next successful response.
     fn apply_effect(&mut self, effect: CacheRequestEffect, block: BlockId, requester: u32) {
         if let Some((victim, owner)) = effect.replaced {
-            self.notify_replacement(victim, owner, requester);
+            if owner == requester {
+                Self::apply_replacement(&mut self.clients[owner as usize], victim);
+            } else {
+                self.plane.send(
+                    owner as usize,
+                    Direction::Up,
+                    Message::EvictNotice { block: victim },
+                );
+            }
         }
         if let Some(prev) = effect.transferred_from {
-            self.clients[prev as usize].pending.push(block);
+            self.plane
+                .send(prev as usize, Direction::Up, Message::EvictNotice { block });
         }
     }
 
@@ -321,36 +403,206 @@ impl UlcMulti {
             client.stack.evict_cached(victim);
         }
     }
+
+    /// Applies one client directive the server's inbox delivered: a
+    /// `Retrieve(b, ·, 2)` cache request or a `Demote(b, 1, 2)`
+    /// instruction — both cache `block` on `requester`'s behalf.
+    ///
+    /// A *late* directive whose block has meanwhile been promoted back
+    /// into the requester's private cache would create a double residency
+    /// the requester would never learn about; it is detected, dropped and
+    /// counted as a repaired violation. (Impossible on the reliable plane:
+    /// directives are drained within the access that issued them.)
+    fn apply_directive(&mut self, block: BlockId, requester: u32) {
+        if self.clients[requester as usize].stack.cached_level(block) == Some(0) {
+            self.recovery.residency_violations_detected += 1;
+            self.recovery.residency_violations_repaired += 1;
+            return;
+        }
+        let effect = self.server.cache_request(block, requester);
+        self.apply_effect(effect, block, requester);
+    }
+
+    /// Drains every client's directive queue into the server.
+    fn drain_server_inbox(&mut self) {
+        for link in 0..self.clients.len() {
+            for msg in self.plane.deliver(link, Direction::Down) {
+                match msg {
+                    Message::CacheRequest { block, requester } => {
+                        self.apply_directive(block, requester);
+                    }
+                    Message::Demote { block, owner, .. } => {
+                        self.apply_directive(block, owner);
+                    }
+                    // ULC's down links carry only directives.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Delivers the eviction notices riding client `c`'s response.
+    /// A notice is stale — and skipped — if the client has meanwhile
+    /// re-claimed the block (it owns it again).
+    fn deliver_notices(&mut self, c: usize) {
+        for msg in self.plane.deliver(c, Direction::Up) {
+            if let Message::EvictNotice { block: victim } = msg {
+                if self.server.owner_of(victim) == Some(c as u32) {
+                    continue;
+                }
+                Self::apply_replacement(&mut self.clients[c], victim);
+            }
+        }
+    }
+
+    /// Wipes crashed levels. A server cold restart marks every client's
+    /// status table dirty: each rebuilds it via [`UlcMulti::reconcile_client`]
+    /// before its next access is served.
+    fn apply_crashes(&mut self) {
+        for level in self.plane.take_crashes() {
+            if level == 0 {
+                for (i, cs) in self.clients.iter_mut().enumerate() {
+                    cs.stack = UniLruStack::new(vec![
+                        self.config.client_capacities[i],
+                        self.config.server_capacity,
+                    ]);
+                    cs.dirty = false; // a cold client believes nothing
+                    self.plane.purge_link(i);
+                }
+            } else if level == 1 {
+                self.server = GlobalLru::new(self.server.capacity);
+                for i in 0..self.clients.len() {
+                    self.plane.purge_link(i);
+                    self.clients[i].dirty = true;
+                }
+            }
+        }
+    }
+
+    /// One status-table reconciliation round for client `c`: the re-sync
+    /// pass the protocol runs after a NACK (an authoritative response
+    /// contradicting the status table) or a server cold restart.
+    ///
+    /// 1. **NACK sweep** — every block the client believes cached at the
+    ///    server is re-validated; entries the server does not hold are
+    ///    evicted from the status table (counted as stale-status hits).
+    /// 2. **Conservative single-residency repair** — a block the client
+    ///    holds privately while also owning the server copy violates
+    ///    exclusive caching; the server copy is purged (the private copy
+    ///    is authoritative — repairing toward the faster level never
+    ///    loses data).
+    pub fn reconcile_client(&mut self, c: usize) {
+        self.recovery.reconciliation_rounds += 1;
+        self.nack_sweep(c);
+        self.repair_residency(c);
+    }
+
+    fn nack_sweep(&mut self, c: usize) {
+        for b in self.clients[c].stack.level_blocks(1) {
+            if !self.server.contains(b) {
+                self.clients[c].stack.evict_cached(b);
+                self.recovery.stale_status_hits += 1;
+            }
+        }
+    }
+
+    fn repair_residency(&mut self, c: usize) {
+        for b in self.clients[c].stack.level_blocks(0) {
+            if self.server.owner_of(b) == Some(c as u32) {
+                self.server.remove(b);
+                self.recovery.residency_violations_detected += 1;
+                self.recovery.residency_violations_repaired += 1;
+            }
+        }
+    }
+
+    /// Runs a reconciliation round for every client. After
+    /// [`UlcMulti::settle`] + `reconcile`, the full
+    /// [`UlcMulti::check_invariants`] set holds again even after an
+    /// arbitrarily faulty run.
+    ///
+    /// The round is phased: every client's single-residency repair runs
+    /// before any status-table sweep, so a repair purging a server block
+    /// another client still believes in is seen by that client's sweep
+    /// (otherwise two clients could need two alternating rounds).
+    pub fn reconcile(&mut self) {
+        for c in 0..self.clients.len() {
+            self.recovery.reconciliation_rounds += 1;
+            self.repair_residency(c);
+        }
+        for c in 0..self.clients.len() {
+            self.nack_sweep(c);
+        }
+    }
+
+    /// Runs the plane forward until no message is in flight, applying
+    /// directives at the server and notices at the clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane fails to drain (a plane bug: delays are
+    /// bounded).
+    pub fn settle(&mut self) {
+        let mut guard = 0u64;
+        loop {
+            self.drain_server_inbox();
+            for c in 0..self.clients.len() {
+                self.deliver_notices(c);
+            }
+            if self.plane.in_flight() == 0 {
+                break;
+            }
+            self.plane.tick();
+            self.apply_crashes();
+            guard += 1;
+            assert!(guard < 1_000_000, "message plane failed to settle");
+        }
+    }
 }
 
-impl MultiLevelPolicy for UlcMulti {
+impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
+        self.plane.tick();
+        self.apply_crashes();
+        // Directives from any client that became due reach the server
+        // first (no-op on the reliable plane: its queues drain within the
+        // access that fills them).
+        self.drain_server_inbox();
+        if self.clients[c].dirty {
+            self.clients[c].dirty = false;
+            self.reconcile_client(c);
+        }
 
-        // 1. Delayed notifications arrive with this request's response.
-        //    A notice is stale — and skipped — if the client has meanwhile
-        //    re-claimed the block (it owns it again).
-        let pending = std::mem::take(&mut self.clients[c].pending);
-        for victim in pending {
-            if self.server.owner_of(victim) == Some(c as u32) {
-                continue;
-            }
-            Self::apply_replacement(&mut self.clients[c], victim);
+        // The demand-read exchange for this reference.
+        let fate = self.plane.rpc(c);
+
+        // 1. Delayed notifications arrive with this request's response —
+        //    so only when the response actually made it back.
+        if fate == RpcFate::Delivered {
+            self.deliver_notices(c);
         }
 
         // 2. Reconcile: the client may believe a block is at the server
         //    although another client took ownership and it was replaced.
+        //    Only an authoritative response can tell it so (a NACK); on a
+        //    lossy plane the NACK triggers a full status-table re-sync.
+        let in_server_actual = self.server.contains(block);
         let believed = self.clients[c].stack.cached_level(block);
-        let in_server = self.server.contains(block);
-        if believed == Some(1) && !in_server {
-            self.clients[c].stack.evict_cached(block);
+        if believed == Some(1) && !in_server_actual && fate == RpcFate::Delivered {
+            if self.plane.lossy() {
+                self.reconcile_client(c);
+            } else {
+                self.clients[c].stack.evict_cached(block);
+            }
         }
 
-        // 3. The actual retrieval source.
+        // 3. The actual retrieval source: a private hit needs no network;
+        //    a server hit needs the reply to arrive.
         let hit_level = if self.clients[c].stack.cached_level(block) == Some(0) {
             Some(0)
-        } else if in_server {
+        } else if in_server_actual && fate == RpcFate::Delivered {
             Some(1)
         } else {
             None
@@ -359,11 +611,12 @@ impl MultiLevelPolicy for UlcMulti {
         // 4. The client's placement decision. §3.2.1's initialisation rule
         //    applies globally: blocks with no usable history claim a
         //    server slot only while the server has free buffers (the
-        //    client learns fullness from piggybacked responses). Blocks
-        //    whose recency falls between the client's yardsticks always
-        //    claim — that reallocation path is what Figure 5 illustrates,
-        //    with gLRU arbitrating between clients.
-        if self.claim_rule == ClaimRule::PaperStrict {
+        //    client learns fullness from piggybacked responses — so only
+        //    a delivered reply updates it). Blocks whose recency falls
+        //    between the client's yardsticks always claim — that
+        //    reallocation path is what Figure 5 illustrates, with gLRU
+        //    arbitrating between clients.
+        if self.claim_rule == ClaimRule::PaperStrict && fate == RpcFate::Delivered {
             self.clients[c]
                 .stack
                 .set_external_full(1, self.server.is_full());
@@ -378,8 +631,10 @@ impl MultiLevelPolicy for UlcMulti {
                 // caching, as in the single-client protocol). A block
                 // owned by *another* client is shared: it stays cached at
                 // the highest level among all clients' directions, so the
-                // server copy is kept and refreshed for its owner.
-                if in_server => {
+                // server copy is kept and refreshed for its owner. A lost
+                // request never reached the server, so it serves nothing
+                // and removes nothing.
+                if in_server_actual && fate != RpcFate::RequestLost => {
                     match self.server.owner_of(block) {
                         Some(o) if o == c as u32 => self.server.remove(block),
                         Some(_) => self.server.refresh(block),
@@ -387,9 +642,15 @@ impl MultiLevelPolicy for UlcMulti {
                     }
                 }
             Placement::Level(1) => {
-                // Retrieve(b, ·, 2): cache (or refresh) at the server.
-                let effect = self.server.cache_request(block, c as u32);
-                self.apply_effect(effect, block, c as u32);
+                // Retrieve(b, ·, 2): direct the server to cache it.
+                self.plane.send(
+                    c,
+                    Direction::Down,
+                    Message::CacheRequest {
+                        block,
+                        requester: c as u32,
+                    },
+                );
             }
             _ => {}
         }
@@ -397,10 +658,19 @@ impl MultiLevelPolicy for UlcMulti {
         for i in 0..out.demoted.len() {
             let (demoted, _, to) = out.demoted[i];
             if to == 1 {
-                let effect = self.server.cache_request(demoted, c as u32);
-                self.apply_effect(effect, demoted, c as u32);
+                self.plane.send(
+                    c,
+                    Direction::Down,
+                    Message::Demote {
+                        block: demoted,
+                        mru: true,
+                        owner: c as u32,
+                    },
+                );
             }
         }
+        // On the reliable plane the directives land right now, in order.
+        self.drain_server_inbox();
 
         #[cfg(feature = "debug_invariants")]
         self.debug_validate();
@@ -418,11 +688,18 @@ impl MultiLevelPolicy for UlcMulti {
     fn name(&self) -> &'static str {
         "ULC"
     }
+
+    fn fault_summary(&self) -> FaultSummary {
+        let mut s = self.recovery;
+        self.plane.accounting().fold_into(&mut s);
+        s
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ulc_hierarchy::plane::{FaultScenario, FaultyPlane};
     use ulc_hierarchy::simulate;
     use ulc_trace::synthetic;
 
@@ -520,7 +797,6 @@ mod tests {
         p.access(ClientId::new(1), b(11));
         p.access(ClientId::new(1), b(12));
         assert!(p.server_allocation()[1] > 0);
-        assert!(!p.clients[1].pending.is_empty() || !p.clients[0].pending.is_empty() || true);
         // Client 0's next access delivers its notifications and its stack
         // still validates.
         p.access(ClientId::new(0), b(0));
@@ -621,5 +897,57 @@ mod tests {
                 p.server_allocation()[i]
             );
         }
+    }
+
+    #[test]
+    fn zero_fault_plane_is_bit_identical() {
+        let t = synthetic::httpd_multi(40_000);
+        let mut reliable = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048));
+        let mut faulty = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048))
+            .with_plane(FaultyPlane::new(FaultScenario::zero(31)));
+        let sr = simulate(&mut reliable, &t, t.warmup_len());
+        let sf = simulate(&mut faulty, &t, t.warmup_len());
+        assert_eq!(sr, sf);
+    }
+
+    #[test]
+    fn lossy_run_recovers_to_full_invariants() {
+        let t = synthetic::httpd_multi(30_000);
+        let scenario = FaultScenario::zero(7)
+            .with_drop(0.05)
+            .with_duplicate(0.02)
+            .with_delay(0.05, 6);
+        let mut p = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048))
+            .with_plane(FaultyPlane::new(scenario));
+        let stats = simulate(&mut p, &t, t.warmup_len());
+        assert!(stats.faults.messages_dropped > 0);
+        p.check_recoverable_invariants();
+        p.settle();
+        p.reconcile();
+        p.check_invariants();
+        let s = p.fault_summary();
+        assert_eq!(
+            s.residency_violations_detected, s.residency_violations_repaired,
+            "every detected violation must be repaired"
+        );
+    }
+
+    #[test]
+    fn server_crash_forces_status_table_rebuild() {
+        let t = synthetic::httpd_multi(30_000);
+        let scenario = FaultScenario::zero(12).with_crash(15_000, 1);
+        let mut p = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048))
+            .with_plane(FaultyPlane::new(scenario));
+        let stats = simulate(&mut p, &t, 0);
+        assert_eq!(stats.faults.crashes, 1);
+        assert!(
+            stats.faults.reconciliation_rounds >= 7,
+            "every client must rebuild its status table, rounds = {}",
+            stats.faults.reconciliation_rounds
+        );
+        p.settle();
+        p.reconcile();
+        p.check_invariants();
+        assert!(stats.total_hit_rate() > 0.0, "the hierarchy keeps serving");
     }
 }

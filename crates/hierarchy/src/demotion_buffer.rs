@@ -9,6 +9,7 @@
 //! the queue full stays on the critical path. The exposed fraction is
 //! what the §4.1 formula should charge.
 
+use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
 use ulc_trace::{BlockId, ClientId};
 
@@ -89,6 +90,10 @@ impl<P: MultiLevelPolicy> MultiLevelPolicy for DemotionBuffer<P> {
                 }
             }
             *d = kept;
+            debug_assert!(
+                self.queues[b] <= self.buffer_capacity,
+                "boundary {b} queue exceeds its configured bound"
+            );
         }
         outcome
     }
@@ -99,6 +104,15 @@ impl<P: MultiLevelPolicy> MultiLevelPolicy for DemotionBuffer<P> {
 
     fn name(&self) -> &'static str {
         "buffered"
+    }
+
+    fn fault_summary(&self) -> FaultSummary {
+        // Demotions that found their buffer full are overflow drops of
+        // this bounded queue, on top of whatever the inner protocol's
+        // message plane counted.
+        let mut s = self.inner.fault_summary();
+        s.overflow_drops += self.exposed;
+        s
     }
 }
 
@@ -146,6 +160,26 @@ mod tests {
         let s2 = simulate(&mut buffered, &t, t.warmup_len());
         assert_eq!(s1.hits_by_level, s2.hits_by_level);
         assert_eq!(s1.misses, s2.misses);
+    }
+
+    #[test]
+    fn overflow_is_bounded_and_counted_in_sim_stats() {
+        // A saturated link: the queue must never exceed its bound, and
+        // every demotion bounced off the full buffer must show up as an
+        // overflow drop in the run's fault summary.
+        let t = synthetic::cs(30_000);
+        let uni = UniLru::single_client(vec![500, 500, 500]);
+        let mut buffered = DemotionBuffer::new(uni, 16, 0.1);
+        let stats = simulate(&mut buffered, &t, 0);
+        assert!(buffered.exposed() > 0, "the link must saturate");
+        assert_eq!(
+            stats.faults.overflow_drops,
+            buffered.exposed(),
+            "overflow drops must be reported through SimStats"
+        );
+        for q in &buffered.queues {
+            assert!(*q <= buffered.buffer_capacity, "queue bound violated");
+        }
     }
 
     #[test]

@@ -7,16 +7,29 @@
 //! the price of a reload *window* during which the block is in neither
 //! cache. A re-reference landing in the window goes to disk (and cancels
 //! the pending reload, since the block returns to the client).
+//!
+//! ## Message plane
+//!
+//! The client's reload *order* is itself a message — [`Message::Reload`]
+//! on link 0 — and the demand read of the server is an RPC on the same
+//! link. On the default [`ReliablePlane`] the order arrives within the
+//! access that issued it, reproducing the historical in-line timing bit
+//! for bit; on a lossy plane a dropped order simply never starts the disk
+//! fetch (the block is re-read from disk on its next reference), and a
+//! duplicated order degrades to a refresh of the pending entry.
 
+use crate::plane::{Direction, Message, MessagePlane, ReliablePlane, RpcFate};
+use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
 use std::collections::{HashMap, VecDeque};
 use ulc_cache::LruCache;
 use ulc_trace::{BlockId, ClientId};
 
 /// Two-level eviction-based placement: LRU client over an LRU server,
-/// exclusive like DEMOTE, with disk reloads instead of demotions.
+/// exclusive like DEMOTE, with disk reloads instead of demotions. Generic
+/// over the transport its reload orders and demand reads cross.
 #[derive(Clone, Debug)]
-pub struct EvictionBased {
+pub struct EvictionBased<P: MessagePlane = ReliablePlane> {
     clients: Vec<LruCache<BlockId>>,
     server: LruCache<BlockId>,
     /// Blocks being fetched from disk into the server: block → ready
@@ -28,6 +41,7 @@ pub struct EvictionBased {
     now: u64,
     reloads: u64,
     window_misses: u64,
+    plane: P,
 }
 
 impl EvictionBased {
@@ -55,6 +69,24 @@ impl EvictionBased {
             now: 0,
             reloads: 0,
             window_misses: 0,
+            plane: ReliablePlane::new(),
+        }
+    }
+}
+
+impl<P: MessagePlane> EvictionBased<P> {
+    /// Moves the scheme onto a different message plane.
+    pub fn with_plane<Q: MessagePlane>(self, plane: Q) -> EvictionBased<Q> {
+        EvictionBased {
+            clients: self.clients,
+            server: self.server,
+            pending: self.pending,
+            order: self.order,
+            reload_latency: self.reload_latency,
+            now: self.now,
+            reloads: self.reloads,
+            window_misses: self.window_misses,
+            plane,
         }
     }
 
@@ -81,11 +113,45 @@ impl EvictionBased {
             }
         }
     }
+
+    /// Applies reload orders the plane has delivered: the server starts a
+    /// disk fetch completing `reload_latency` references from now. A
+    /// duplicated order refreshes the pending entry; its stale `order`
+    /// row is skipped by `drain_pending`'s cancelled-check.
+    fn apply_reload_orders(&mut self) {
+        for msg in self.plane.deliver(0, Direction::Down) {
+            if let Message::Reload { block } = msg {
+                self.reloads += 1;
+                self.pending.insert(block, self.now + self.reload_latency);
+                self.order.push_back((self.now + self.reload_latency, block));
+            }
+        }
+    }
+
+    /// Wipes crashed levels; a server crash also forgets every in-flight
+    /// disk fetch.
+    fn apply_crashes(&mut self) {
+        for level in self.plane.take_crashes() {
+            if level == 0 {
+                for cl in &mut self.clients {
+                    *cl = LruCache::new(cl.capacity());
+                }
+            } else if level == 1 {
+                self.server = LruCache::new(self.server.capacity());
+                self.pending.clear();
+                self.order.clear();
+                self.plane.purge_link(0);
+            }
+        }
+    }
 }
 
-impl MultiLevelPolicy for EvictionBased {
+impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
         self.now += 1;
+        self.plane.tick();
+        self.apply_crashes();
+        self.apply_reload_orders();
         self.drain_pending();
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
@@ -96,23 +162,32 @@ impl MultiLevelPolicy for EvictionBased {
             outcome.hit_level = Some(0);
             return outcome;
         }
-        if self.server.contains(&block) {
-            // Exclusive promotion, like DEMOTE.
-            self.server.remove(&block);
-            outcome.hit_level = Some(1);
-        } else if self.pending.remove(&block).is_some() {
-            // Reload window: the block is on its way from disk but not
-            // usable yet; the reference goes to disk, and the reload is
-            // cancelled (the block will live at the client instead).
-            self.window_misses += 1;
+        match self.plane.rpc(0) {
+            RpcFate::RequestLost => {} // the server never saw the read
+            fate => {
+                if self.server.contains(&block) {
+                    // Exclusive promotion, like DEMOTE. On a lost reply the
+                    // server still gives the block up but the copy vanishes
+                    // in transit; the reference falls through to disk.
+                    self.server.remove(&block);
+                    if fate == RpcFate::Delivered {
+                        outcome.hit_level = Some(1);
+                    }
+                } else if self.pending.remove(&block).is_some() {
+                    // Reload window: the block is on its way from disk but
+                    // not usable yet; the reference goes to disk, and the
+                    // reload is cancelled (the block will live at the
+                    // client instead).
+                    self.window_misses += 1;
+                }
+            }
         }
         if let Some(victim) = self.clients[c].insert_mru(block) {
-            // Reload from disk instead of demoting: no transfer counted.
-            self.reloads += 1;
-            self.pending
-                .insert(victim, self.now + self.reload_latency);
-            self.order
-                .push_back((self.now + self.reload_latency, victim));
+            // Reload from disk instead of demoting: no transfer counted —
+            // only the reload order crosses the wire.
+            self.plane
+                .send(0, Direction::Down, Message::Reload { block: victim });
+            self.apply_reload_orders();
         }
         outcome
     }
@@ -124,11 +199,18 @@ impl MultiLevelPolicy for EvictionBased {
     fn name(&self) -> &'static str {
         "evict-reload"
     }
+
+    fn fault_summary(&self) -> FaultSummary {
+        let mut s = FaultSummary::default();
+        self.plane.accounting().fold_into(&mut s);
+        s
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plane::{FaultScenario, FaultyPlane};
     use crate::{simulate, UniLru, UniLruVariant};
     use ulc_trace::synthetic;
 
@@ -178,6 +260,41 @@ mod tests {
         let t = synthetic::httpd_multi(20_000);
         let mut p = EvictionBased::new(vec![256; 7], 2048, 10);
         let stats = simulate(&mut p, &t, t.warmup_len());
+        assert!(stats.total_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn zero_fault_plane_is_bit_identical() {
+        let t = synthetic::cs(30_000);
+        let mut reliable = EvictionBased::new(vec![500], 1000, 5);
+        let mut faulty = EvictionBased::new(vec![500], 1000, 5)
+            .with_plane(FaultyPlane::new(FaultScenario::zero(13)));
+        let sr = simulate(&mut reliable, &t, t.warmup_len());
+        let sf = simulate(&mut faulty, &t, t.warmup_len());
+        assert_eq!(sr, sf);
+        assert!(sf.faults.is_clean());
+    }
+
+    #[test]
+    fn dropped_reload_orders_cost_server_hits() {
+        let t = synthetic::cs(50_000);
+        let mut clean = EvictionBased::new(vec![500], 2000, 0);
+        let mut lossy = EvictionBased::new(vec![500], 2000, 0)
+            .with_plane(FaultyPlane::new(FaultScenario::zero(9).with_drop(0.5)));
+        let sc = simulate(&mut clean, &t, t.warmup_len());
+        let sl = simulate(&mut lossy, &t, t.warmup_len());
+        assert!(sl.faults.messages_dropped > 0);
+        assert!(sl.hit_rates()[1] < sc.hit_rates()[1]);
+    }
+
+    #[test]
+    fn server_crash_forgets_pending_reloads() {
+        let t = synthetic::zipf_small(20_000);
+        let scenario = FaultScenario::zero(2).with_crash(10_000, 1);
+        let mut p = EvictionBased::new(vec![300], 600, 50)
+            .with_plane(FaultyPlane::new(scenario));
+        let stats = simulate(&mut p, &t, 0);
+        assert_eq!(stats.faults.crashes, 1);
         assert!(stats.total_hit_rate() > 0.0);
     }
 }

@@ -6,17 +6,31 @@
 //! criticises: the low levels see a locality-filtered stream and duplicate
 //! blocks redundantly, so the hierarchy behaves far below its aggregate
 //! size.
+//!
+//! ## Message plane
+//!
+//! indLRU sends no coordination messages, so only its demand reads cross
+//! the [`MessagePlane`]: probing shared level `i` is an RPC on link `i`.
+//! A lost request means the level never saw the reference (no install, no
+//! hit); a lost reply means the level served — and, being inclusive,
+//! installed — the block, but the client fell through to the next level
+//! anyway. Crashes cold-restart a level. No reconciliation is needed:
+//! indLRU maintains no cross-level invariant to repair.
 
+use crate::plane::{MessagePlane, ReliablePlane, RpcFate};
+use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
 use ulc_cache::LruCache;
 use ulc_trace::{BlockId, ClientId};
 
 /// Independent per-level LRU over a hierarchy with private client caches
-/// (level 1) and shared lower levels.
+/// (level 1) and shared lower levels, generic over the transport its
+/// demand reads cross.
 #[derive(Clone, Debug)]
-pub struct IndLru {
+pub struct IndLru<P: MessagePlane = ReliablePlane> {
     clients: Vec<LruCache<BlockId>>,
     shared: Vec<LruCache<BlockId>>,
+    plane: P,
 }
 
 impl IndLru {
@@ -45,6 +59,18 @@ impl IndLru {
         IndLru {
             clients: client_capacities.into_iter().map(LruCache::new).collect(),
             shared: shared_capacities.into_iter().map(LruCache::new).collect(),
+            plane: ReliablePlane::new(),
+        }
+    }
+}
+
+impl<P: MessagePlane> IndLru<P> {
+    /// Moves the hierarchy onto a different message plane.
+    pub fn with_plane<Q: MessagePlane>(self, plane: Q) -> IndLru<Q> {
+        IndLru {
+            clients: self.clients,
+            shared: self.shared,
+            plane,
         }
     }
 
@@ -52,19 +78,44 @@ impl IndLru {
     pub fn num_clients(&self) -> usize {
         self.clients.len()
     }
+
+    /// Wipes crashed levels (cold restart).
+    fn apply_crashes(&mut self) {
+        for level in self.plane.take_crashes() {
+            if level == 0 {
+                for cl in &mut self.clients {
+                    *cl = LruCache::new(cl.capacity());
+                }
+            } else if level - 1 < self.shared.len() {
+                let s = level - 1;
+                self.shared[s] = LruCache::new(self.shared[s].capacity());
+                self.plane.purge_link(s);
+            }
+        }
+    }
 }
 
-impl MultiLevelPolicy for IndLru {
+impl<P: MessagePlane> MultiLevelPolicy for IndLru<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
         let boundaries = self.num_levels() - 1;
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
+        self.plane.tick();
+        self.apply_crashes();
         if self.clients[c].access(block).is_hit() {
             return AccessOutcome::hit(0, boundaries);
         }
         for (i, level) in self.shared.iter_mut().enumerate() {
-            if level.access(block).is_hit() {
-                return AccessOutcome::hit(i + 1, boundaries);
+            match self.plane.rpc(i) {
+                RpcFate::RequestLost => continue, // the level never saw it
+                fate => {
+                    let hit = level.access(block).is_hit();
+                    if hit && fate == RpcFate::Delivered {
+                        return AccessOutcome::hit(i + 1, boundaries);
+                    }
+                    // Reply lost: the level installed/served the block but
+                    // the client never heard; fall through to the next.
+                }
             }
         }
         AccessOutcome::miss(boundaries)
@@ -77,11 +128,18 @@ impl MultiLevelPolicy for IndLru {
     fn name(&self) -> &'static str {
         "indLRU"
     }
+
+    fn fault_summary(&self) -> FaultSummary {
+        let mut s = FaultSummary::default();
+        self.plane.accounting().fold_into(&mut s);
+        s
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plane::{FaultScenario, FaultyPlane};
     use crate::simulate;
     use ulc_trace::synthetic;
 
@@ -151,5 +209,40 @@ mod tests {
     fn unknown_client_rejected() {
         let mut p = IndLru::single_client(vec![2]);
         let _ = p.access(ClientId::new(5), BlockId::new(1));
+    }
+
+    #[test]
+    fn zero_fault_plane_is_bit_identical() {
+        let t = synthetic::zipf_small(30_000);
+        let mut reliable = IndLru::single_client(vec![500, 500, 500]);
+        let mut faulty = IndLru::single_client(vec![500, 500, 500])
+            .with_plane(FaultyPlane::new(FaultScenario::zero(21)));
+        let sr = simulate(&mut reliable, &t, t.warmup_len());
+        let sf = simulate(&mut faulty, &t, t.warmup_len());
+        assert_eq!(sr, sf);
+        assert!(sf.faults.is_clean());
+    }
+
+    #[test]
+    fn lost_reads_cost_hits_but_nothing_breaks() {
+        let t = synthetic::zipf_small(30_000);
+        let mut clean = IndLru::single_client(vec![300, 600]);
+        let mut lossy = IndLru::single_client(vec![300, 600])
+            .with_plane(FaultyPlane::new(FaultScenario::zero(4).with_drop(0.4)));
+        let sc = simulate(&mut clean, &t, t.warmup_len());
+        let sl = simulate(&mut lossy, &t, t.warmup_len());
+        assert!(sl.faults.rpc_failures > 0);
+        assert!(sl.hit_rates()[1] < sc.hit_rates()[1]);
+    }
+
+    #[test]
+    fn crash_cold_restarts_the_server_level() {
+        let t = synthetic::zipf_small(20_000);
+        let scenario = FaultScenario::zero(6).with_crash(10_000, 1);
+        let mut p = IndLru::single_client(vec![300, 600])
+            .with_plane(FaultyPlane::new(scenario));
+        let stats = simulate(&mut p, &t, 0);
+        assert_eq!(stats.faults.crashes, 1);
+        assert!(stats.total_hit_rate() > 0.0);
     }
 }

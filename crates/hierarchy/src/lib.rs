@@ -51,6 +51,7 @@ mod demotion_buffer;
 mod eviction_based;
 mod ind_lru;
 mod mq_server;
+pub mod plane;
 mod protocol;
 mod sim;
 mod stats;
@@ -61,7 +62,8 @@ pub use demotion_buffer::DemotionBuffer;
 pub use eviction_based::EvictionBased;
 pub use ind_lru::IndLru;
 pub use mq_server::LruMqServer;
+pub use plane::{FaultScenario, FaultyPlane, MessagePlane, ReliablePlane};
 pub use protocol::{AccessOutcome, MultiLevelPolicy};
 pub use sim::{simulate, simulate_with_paper_warmup};
-pub use stats::{SimStats, TimeBreakdown};
+pub use stats::{FaultSummary, SimStats, TimeBreakdown};
 pub use uni_lru::{UniLru, UniLruVariant};

@@ -1,5 +1,6 @@
 //! The interface every multi-level caching protocol implements.
 
+use crate::stats::FaultSummary;
 use ulc_trace::{BlockId, ClientId};
 
 /// What one reference did, as reported by a protocol.
@@ -49,6 +50,14 @@ pub trait MultiLevelPolicy {
 
     /// Short scheme name for reports (e.g. `"indLRU"`).
     fn name(&self) -> &'static str;
+
+    /// Graceful-degradation counters accumulated so far: message-plane
+    /// perturbations plus the protocol's recovery work. The default is
+    /// all-zero, correct for protocols that do not route their traffic
+    /// through a message plane.
+    fn fault_summary(&self) -> FaultSummary {
+        FaultSummary::default()
+    }
 }
 
 #[cfg(test)]

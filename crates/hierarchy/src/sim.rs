@@ -34,6 +34,7 @@ pub fn simulate<P: MultiLevelPolicy + ?Sized>(
             stats.record(&outcome);
         }
     }
+    stats.faults = policy.fault_summary();
     stats
 }
 

@@ -16,6 +16,62 @@ pub struct SimStats {
     pub misses: u64,
     /// Demotions per boundary.
     pub demotions_by_boundary: Vec<u64>,
+    /// Graceful-degradation accounting: what the message plane did to the
+    /// protocol's traffic and how the protocol recovered. All-zero on a
+    /// reliable plane.
+    pub faults: FaultSummary,
+}
+
+/// Graceful-degradation counters: message-plane perturbations and the
+/// protocol's recovery work. Every field is a plain count over the whole
+/// run (warm-up included — faults do not pause for warm-up).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Asynchronous messages handed to the plane.
+    pub messages_sent: u64,
+    /// Asynchronous messages the receiving level actually saw.
+    pub messages_delivered: u64,
+    /// Messages lost (fault drops, crash purges, queue overflow).
+    pub messages_dropped: u64,
+    /// Extra copies injected by duplication faults.
+    pub messages_duplicated: u64,
+    /// Messages delivered after a message sent later than them.
+    pub messages_reordered: u64,
+    /// Messages dropped because a bounded queue was full (subset of
+    /// `messages_dropped`; also counts [`crate::DemotionBuffer`] overflow).
+    pub overflow_drops: u64,
+    /// Demand-read RPCs that lost their request or reply leg.
+    pub rpc_failures: u64,
+    /// Level crash-and-cold-restart events delivered.
+    pub crashes: u64,
+    /// Status-table reconciliation passes the client ran.
+    pub reconciliation_rounds: u64,
+    /// Accesses directed by a status-table entry that turned out stale
+    /// (the believed level did not hold the block).
+    pub stale_status_hits: u64,
+    /// Single-residency violations detected (a block found cached at two
+    /// levels at once).
+    pub residency_violations_detected: u64,
+    /// Single-residency violations repaired by evicting the redundant
+    /// copy.
+    pub residency_violations_repaired: u64,
+}
+
+impl FaultSummary {
+    /// `true` when nothing was perturbed and no recovery work ran —
+    /// the reliable-plane signature.
+    pub fn is_clean(&self) -> bool {
+        self.messages_dropped == 0
+            && self.messages_duplicated == 0
+            && self.messages_reordered == 0
+            && self.overflow_drops == 0
+            && self.rpc_failures == 0
+            && self.crashes == 0
+            && self.reconciliation_rounds == 0
+            && self.stale_status_hits == 0
+            && self.residency_violations_detected == 0
+            && self.residency_violations_repaired == 0
+    }
 }
 
 impl SimStats {
@@ -26,6 +82,7 @@ impl SimStats {
             hits_by_level: vec![0; levels],
             misses: 0,
             demotions_by_boundary: vec![0; levels.saturating_sub(1)],
+            faults: FaultSummary::default(),
         }
     }
 

@@ -14,7 +14,23 @@
 //! server are dropped instead of transferred) and a per-client adaptive
 //! switch between them driven by observed demotion utility. The Figure 7
 //! harness runs every variant and reports the best, as the paper does.
+//!
+//! ## Message plane
+//!
+//! All inter-level traffic crosses a [`MessagePlane`]: each demotion is a
+//! [`Message::Demote`] on the boundary link it crosses (link `j` joins
+//! level `j` to level `j+1`), applied when the plane delivers it, and
+//! each probe of a lower level is a demand-read RPC on that boundary.
+//! Under the default [`ReliablePlane`] everything is delivered in order
+//! within the access that produced it, which reproduces the historical
+//! in-line behaviour bit for bit (`tests/plane_differential.rs`). Under a
+//! lossy [`crate::FaultyPlane`] demotes can arrive late, twice or never;
+//! the receiver tolerates redundant demotes naturally (re-insertion is a
+//! refresh), drops late demotes that would break exclusivity, and
+//! [`UniLru::reconcile`] repairs any residual duplicate residency.
 
+use crate::plane::{Direction, Message, MessagePlane, ReliablePlane, RpcFate};
+use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
 use std::collections::HashMap;
 use ulc_cache::LruCache;
@@ -45,9 +61,10 @@ struct AdaptiveState {
     accesses: u64,
 }
 
-/// The unified LRU protocol.
+/// The unified LRU protocol, generic over the transport its demotion and
+/// retrieval traffic crosses (default: the perfect [`ReliablePlane`]).
 #[derive(Clone, Debug)]
-pub struct UniLru {
+pub struct UniLru<P: MessagePlane = ReliablePlane> {
     clients: Vec<LruCache<BlockId>>,
     shared: Vec<LruCache<BlockId>>,
     variant: UniLruVariant,
@@ -56,6 +73,10 @@ pub struct UniLru {
     demoted_by: HashMap<BlockId, u32>,
     adaptive: Vec<AdaptiveState>,
     epoch_len: u64,
+    plane: P,
+    /// Protocol-side recovery counters (the plane keeps the transport
+    /// counters itself).
+    recovery: FaultSummary,
     #[cfg(feature = "debug_invariants")]
     tick: u64,
 }
@@ -104,9 +125,35 @@ impl UniLru {
                 n
             ],
             epoch_len: 5_000,
+            plane: ReliablePlane::new(),
+            recovery: FaultSummary::default(),
             #[cfg(feature = "debug_invariants")]
             tick: 0,
         }
+    }
+}
+
+impl<P: MessagePlane> UniLru<P> {
+    /// Moves the hierarchy onto a different message plane (used to swap
+    /// in a [`crate::FaultyPlane`] before a run starts).
+    pub fn with_plane<Q: MessagePlane>(self, plane: Q) -> UniLru<Q> {
+        UniLru {
+            clients: self.clients,
+            shared: self.shared,
+            variant: self.variant,
+            demoted_by: self.demoted_by,
+            adaptive: self.adaptive,
+            epoch_len: self.epoch_len,
+            plane,
+            recovery: self.recovery,
+            #[cfg(feature = "debug_invariants")]
+            tick: self.tick,
+        }
+    }
+
+    /// The message plane the hierarchy runs on.
+    pub fn plane(&self) -> &P {
+        &self.plane
     }
 
     /// Deep structural validation of the DEMOTE hierarchy: per-level
@@ -120,15 +167,16 @@ impl UniLru {
     /// read it through its own miss path — so cross-client exclusivity is
     /// intentionally not asserted.
     ///
+    /// On a lossy plane these guarantees only hold once traffic has
+    /// settled and [`UniLru::reconcile`] has run; mid-run, use
+    /// [`UniLru::check_recoverable_invariants`].
+    ///
     /// # Panics
     ///
     /// Panics if an invariant is violated.
     pub fn check_invariants(&self) {
-        for (i, c) in self.clients.iter().enumerate() {
-            assert!(c.len() <= c.capacity(), "client {i} over capacity");
-        }
+        self.check_recoverable_invariants();
         for (i, s) in self.shared.iter().enumerate() {
-            assert!(s.len() <= s.capacity(), "shared level {i} over capacity");
             for b in s.iter() {
                 for (j, deeper) in self.shared.iter().enumerate().skip(i + 1) {
                     assert!(
@@ -157,13 +205,35 @@ impl UniLru {
         }
     }
 
-    /// Amortised feature-gated self-check; see DESIGN.md §5c.
+    /// The invariants that hold at *every* instant even under message
+    /// loss, duplication, reordering and crashes: per-level capacity
+    /// bounds and in-range adaptive bookkeeping. The chaos suite asserts
+    /// these mid-run; the full [`UniLru::check_invariants`] set is only
+    /// guaranteed after [`UniLru::settle`] + [`UniLru::reconcile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recoverable invariant is violated.
+    pub fn check_recoverable_invariants(&self) {
+        for (i, c) in self.clients.iter().enumerate() {
+            assert!(c.len() <= c.capacity(), "client {i} over capacity");
+        }
+        for (i, s) in self.shared.iter().enumerate() {
+            assert!(s.len() <= s.capacity(), "shared level {i} over capacity");
+        }
+    }
+
+    /// Amortised feature-gated self-check; see DESIGN.md §5c/§5d.
     #[cfg(feature = "debug_invariants")]
     fn debug_validate(&mut self) {
         self.tick += 1;
         let total: usize = self.shared.iter().map(|s| s.len()).sum();
         if total < 64 || self.tick.is_multiple_of(256) {
-            self.check_invariants();
+            if self.plane.lossy() {
+                self.check_recoverable_invariants();
+            } else {
+                self.check_invariants();
+            }
         }
     }
 
@@ -181,39 +251,162 @@ impl UniLru {
         }
     }
 
-    /// Demotes `victim` (evicted from the client of `c`) into the shared
-    /// levels, cascading. Returns the per-boundary transfer counts.
-    fn demote_chain(&mut self, c: usize, victim: BlockId, demotions: &mut [u32]) {
-        if self.shared.is_empty() {
-            return; // single-level hierarchy: eviction is a discard
+    /// Applies one demote arriving at boundary `j` (into `shared[j]`).
+    ///
+    /// Redundant demotes — the block already resides at the level, from a
+    /// duplicated message or a stale retry — degrade to a recency refresh
+    /// inside the insert, exactly like the in-line scheme handled a
+    /// cross-client re-demotion. A *late* demote whose block has since
+    /// been promoted back into a sole client would break exclusivity; it
+    /// is detected, dropped and counted as a repaired violation.
+    fn apply_demote(
+        &mut self,
+        j: usize,
+        block: BlockId,
+        mru: bool,
+        owner: u32,
+        demotions: &mut [u32],
+    ) {
+        if self.clients.len() == 1 && self.clients[0].contains(&block) {
+            self.recovery.residency_violations_detected += 1;
+            self.recovery.residency_violations_repaired += 1;
+            return;
         }
-        let mru = self.mru_mode(c);
-        let incoming = if mru {
-            demotions[0] += 1;
-            self.demoted_by.insert(victim, c as u32);
-            self.shared[0].insert_mru(victim)
-        } else {
-            let evicted = self.shared[0].insert_lru(victim);
-            if evicted != Some(victim) {
-                // The block actually entered the server.
+        let incoming = if j == 0 {
+            if mru {
                 demotions[0] += 1;
-                self.demoted_by.insert(victim, c as u32);
+                self.demoted_by.insert(block, owner);
+                self.shared[0].insert_mru(block)
+            } else {
+                let evicted = self.shared[0].insert_lru(block);
+                if evicted != Some(block) {
+                    // The block actually entered the server.
+                    demotions[0] += 1;
+                    self.demoted_by.insert(block, owner);
+                }
+                evicted
             }
-            evicted
+        } else {
+            demotions[j] += 1;
+            self.shared[j].insert_mru(block)
         };
-        if let Some(mut w) = incoming {
-            if w != victim {
+        if let Some(w) = incoming {
+            if j == 0 && w != block {
                 self.demoted_by.remove(&w);
             }
-            // Cascade down the remaining levels with MRU insertion.
-            for (j, level) in self.shared.iter_mut().enumerate().skip(1) {
-                demotions[j] += 1;
-                match level.insert_mru(w) {
-                    Some(next) => w = next,
-                    None => return,
+            // Cascade down the next boundary with MRU insertion; evicted
+            // from the last level means dropped.
+            if j + 1 < self.shared.len() {
+                self.plane.send(
+                    j + 1,
+                    Direction::Down,
+                    Message::Demote {
+                        block: w,
+                        mru: true,
+                        owner,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Delivers and applies every deliverable message, boundary by
+    /// boundary from the top, until the plane has nothing due. A cascade
+    /// send lands on a higher-numbered link, so on the reliable plane one
+    /// ascending pass drains a whole demotion chain in the historical
+    /// in-line order.
+    fn pump(&mut self, demotions: &mut [u32]) {
+        loop {
+            let mut any = false;
+            for j in 0..self.shared.len() {
+                for msg in self.plane.deliver(j, Direction::Down) {
+                    any = true;
+                    // uniLRU's links carry only demotes; anything else is
+                    // a foreign duplicate — ignore it.
+                    if let Message::Demote { block, mru, owner } = msg {
+                        self.apply_demote(j, block, mru, owner, demotions);
+                    }
                 }
             }
-            // Evicted from the last level: dropped.
+            if !any {
+                break;
+            }
+        }
+    }
+
+    /// Wipes crashed levels (cold restart) and purges traffic destined
+    /// for them.
+    fn apply_crashes(&mut self) {
+        for level in self.plane.take_crashes() {
+            if level == 0 {
+                for cl in &mut self.clients {
+                    *cl = LruCache::new(cl.capacity());
+                }
+                // In-flight demotes already left the clients; they survive.
+            } else if level - 1 < self.shared.len() {
+                let s = level - 1;
+                self.shared[s] = LruCache::new(self.shared[s].capacity());
+                if s == 0 {
+                    self.demoted_by.clear();
+                }
+                self.plane.purge_link(s);
+            }
+        }
+    }
+
+    /// Runs the plane forward until no message is in flight, applying
+    /// everything that arrives. Demotion counts accrued while settling
+    /// are protocol-internal (no reference is being served).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane fails to drain (a plane bug: delays are
+    /// bounded and cascades strictly descend).
+    pub fn settle(&mut self) {
+        let mut scratch = vec![0u32; self.shared.len()];
+        let mut guard = 0u64;
+        loop {
+            self.pump(&mut scratch);
+            if self.plane.in_flight() == 0 {
+                break;
+            }
+            self.plane.tick();
+            self.apply_crashes();
+            guard += 1;
+            assert!(guard < 1_000_000, "message plane failed to settle");
+        }
+    }
+
+    /// One reconciliation round: restores single residency after faults by
+    /// purging duplicate copies bottom-up from the authoritative top copy
+    /// (the fastest level keeps the block; deeper duplicates are evicted).
+    /// Violations found are counted as detected and repaired.
+    pub fn reconcile(&mut self) {
+        self.recovery.reconciliation_rounds += 1;
+        if self.clients.len() == 1 {
+            let cached: Vec<BlockId> = self.clients[0].iter().copied().collect();
+            for b in cached {
+                for s in 0..self.shared.len() {
+                    if self.shared[s].remove(&b) {
+                        if s == 0 {
+                            self.demoted_by.remove(&b);
+                        }
+                        self.recovery.residency_violations_detected += 1;
+                        self.recovery.residency_violations_repaired += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..self.shared.len() {
+            let here: Vec<BlockId> = self.shared[i].iter().copied().collect();
+            for b in here {
+                for j in i + 1..self.shared.len() {
+                    if self.shared[j].remove(&b) {
+                        self.recovery.residency_violations_detected += 1;
+                        self.recovery.residency_violations_repaired += 1;
+                    }
+                }
+            }
         }
     }
 
@@ -237,32 +430,49 @@ impl UniLru {
     }
 }
 
-impl MultiLevelPolicy for UniLru {
+impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
         let boundaries = self.num_levels() - 1;
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
+        self.plane.tick();
+        self.apply_crashes();
         self.maybe_flip_epoch(c);
         let mut outcome = AccessOutcome::miss(boundaries);
+        // Apply traffic that became due since the previous reference
+        // (no-op on the reliable plane: its queues drain within an access).
+        self.pump(&mut outcome.demotions);
 
         if self.clients[c].contains(&block) {
             self.clients[c].access(block); // refresh recency only
             outcome.hit_level = Some(0);
             return outcome;
         }
-        // Search the lower levels; promotion is exclusive.
+        // Search the lower levels; promotion is exclusive. Each probe is a
+        // demand read crossing boundary `i`.
         for i in 0..self.shared.len() {
-            if self.shared[i].contains(&block) {
-                self.shared[i].remove(&block);
-                if i == 0 {
-                    if let Some(owner) = self.demoted_by.remove(&block) {
-                        if self.variant == UniLruVariant::Adaptive {
-                            self.adaptive[owner as usize].demoted_hits += 1;
+            match self.plane.rpc(i) {
+                RpcFate::RequestLost => continue, // the level never saw it
+                fate => {
+                    if self.shared[i].contains(&block) {
+                        self.shared[i].remove(&block);
+                        if i == 0 {
+                            if let Some(owner) = self.demoted_by.remove(&block) {
+                                if self.variant == UniLruVariant::Adaptive {
+                                    self.adaptive[owner as usize].demoted_hits += 1;
+                                }
+                            }
                         }
+                        if fate == RpcFate::ReplyLost {
+                            // The level gave the block up but the reply
+                            // vanished: the copy is lost in transit and
+                            // the reference falls through to disk.
+                            continue;
+                        }
+                        outcome.hit_level = Some(i + 1);
+                        break;
                     }
                 }
-                outcome.hit_level = Some(i + 1);
-                break;
             }
         }
         // Install at the client; the client's victim is demoted.
@@ -270,7 +480,17 @@ impl MultiLevelPolicy for UniLru {
             if self.variant == UniLruVariant::Adaptive {
                 self.adaptive[c].demotions += 1;
             }
-            self.demote_chain(c, victim, &mut outcome.demotions);
+            let mru = self.mru_mode(c);
+            self.plane.send(
+                0,
+                Direction::Down,
+                Message::Demote {
+                    block: victim,
+                    mru,
+                    owner: c as u32,
+                },
+            );
+            self.pump(&mut outcome.demotions);
         }
         #[cfg(feature = "debug_invariants")]
         self.debug_validate();
@@ -284,11 +504,18 @@ impl MultiLevelPolicy for UniLru {
     fn name(&self) -> &'static str {
         "uniLRU"
     }
+
+    fn fault_summary(&self) -> FaultSummary {
+        let mut s = self.recovery;
+        self.plane.accounting().fold_into(&mut s);
+        s
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plane::{FaultScenario, FaultyPlane};
     use crate::{simulate, IndLru};
     use ulc_trace::synthetic;
 
@@ -399,5 +626,74 @@ mod tests {
         let stats = simulate(&mut p, &t, t.warmup_len());
         assert!(stats.hit_rates()[1] > 0.2, "server should earn hits");
         assert!(stats.demotion_rates()[0] > 0.3);
+    }
+
+    #[test]
+    fn zero_fault_plane_is_bit_identical() {
+        let t = synthetic::cs(30_000);
+        let mut reliable = UniLru::single_client(vec![500, 500, 500]);
+        let mut faulty = UniLru::single_client(vec![500, 500, 500])
+            .with_plane(FaultyPlane::new(FaultScenario::zero(17)));
+        let sr = simulate(&mut reliable, &t, t.warmup_len());
+        let sf = simulate(&mut faulty, &t, t.warmup_len());
+        assert_eq!(sr.hits_by_level, sf.hits_by_level);
+        assert_eq!(sr.misses, sf.misses);
+        assert_eq!(sr.demotions_by_boundary, sf.demotions_by_boundary);
+        assert_eq!(sr.faults, sf.faults, "transport counters must agree");
+        assert!(sf.faults.is_clean());
+    }
+
+    #[test]
+    fn dropped_demotes_degrade_hits_but_preserve_bounds() {
+        // Aggregate capacity (3000) holds the 2500-block loop, so the
+        // clean run hits ~fully; every dropped demote leaks a block out of
+        // the hierarchy and turns a would-be hit into a disk read.
+        let t = synthetic::cs(30_000);
+        let mut clean = UniLru::single_client(vec![1000, 1000, 1000]);
+        let mut lossy = UniLru::single_client(vec![1000, 1000, 1000])
+            .with_plane(FaultyPlane::new(FaultScenario::zero(5).with_drop(0.3)));
+        let sc = simulate(&mut clean, &t, t.warmup_len());
+        let sl = simulate(&mut lossy, &t, t.warmup_len());
+        assert!(sl.faults.messages_dropped > 0);
+        assert!(
+            sl.total_hit_rate() < sc.total_hit_rate(),
+            "losing demotes must cost aggregate hits: {:.3} vs {:.3}",
+            sl.total_hit_rate(),
+            sc.total_hit_rate()
+        );
+        lossy.check_recoverable_invariants();
+        lossy.settle();
+        lossy.reconcile();
+        lossy.check_invariants();
+    }
+
+    #[test]
+    fn duplicated_and_delayed_demotes_are_tolerated() {
+        let t = synthetic::zipf_small(20_000);
+        let scenario = FaultScenario::zero(3)
+            .with_duplicate(0.2)
+            .with_delay(0.3, 6);
+        let mut p =
+            UniLru::single_client(vec![300, 300]).with_plane(FaultyPlane::new(scenario));
+        let stats = simulate(&mut p, &t, t.warmup_len());
+        assert!(stats.faults.messages_duplicated > 0);
+        p.settle();
+        p.reconcile();
+        p.check_invariants();
+    }
+
+    #[test]
+    fn server_crash_wipes_level_and_recovers() {
+        let t = synthetic::zipf_small(20_000);
+        let scenario = FaultScenario::zero(8).with_crash(10_000, 1);
+        let mut p =
+            UniLru::single_client(vec![300, 300]).with_plane(FaultyPlane::new(scenario));
+        let stats = simulate(&mut p, &t, 0);
+        assert_eq!(stats.faults.crashes, 1);
+        p.settle();
+        p.reconcile();
+        p.check_invariants();
+        // The hierarchy keeps serving after the crash.
+        assert!(stats.total_hit_rate() > 0.0);
     }
 }

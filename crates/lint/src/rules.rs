@@ -5,8 +5,11 @@
 //!
 //! * [`RULE_DETERMINISM`] — no iteration over `HashMap`/`HashSet` (their
 //!   order is seeded per-process, so any result derived from it breaks
-//!   the bit-identical-output guarantee), no `Instant::now`/`SystemTime`
-//!   and no `thread_rng` in simulator code;
+//!   the bit-identical-output guarantee), no `Instant::now`/`SystemTime`,
+//!   and no ambient/environment RNG in simulator code — `thread_rng`,
+//!   `rand::random`, `from_entropy`, `from_os_rng`, `OsRng` are all
+//!   flagged so fault injection (`FaultyPlane`) stays replayable from its
+//!   scenario seed;
 //! * [`RULE_UNSAFE`] — every `unsafe` token must be justified by a
 //!   `// SAFETY:` comment immediately above it;
 //! * [`RULE_PANIC`] — library code must not `unwrap()`, use `expect`
@@ -364,6 +367,38 @@ fn determinism_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut 
             ));
             continue;
         }
+        // Non-vendored entropy sources: anything that seeds from the
+        // environment makes a `FaultScenario` (and any simulator output
+        // derived from it) unreproducible.
+        if t.is_ident("from_entropy") || t.is_ident("from_os_rng") || t.is_ident("OsRng") {
+            diags.push(Diagnostic::new(
+                path,
+                t.line,
+                RULE_DETERMINISM,
+                &format!(
+                    "`{}` seeds from the environment; fault planes and simulators \
+                     must seed explicitly (`StdRng::seed_from_u64`)",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // `rand::random()` — ambient thread-local RNG by another name.
+        if t.is_ident("random")
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].is_ident("rand")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('(') || n.is_punct(':'))
+        {
+            diags.push(Diagnostic::new(
+                path,
+                t.line,
+                RULE_DETERMINISM,
+                "`rand::random` draws from the ambient thread RNG; seed explicitly instead",
+            ));
+            continue;
+        }
         // `map.iter()`-family calls on known map-typed names.
         if t.kind == TokenKind::Ident
             && maps.contains(&t.text)
@@ -639,6 +674,30 @@ mod tests {
     fn clock_and_thread_rng_are_flagged() {
         let src = "fn f() { let t = Instant::now(); let r = thread_rng(); let _ = (t, r); }\n";
         assert_eq!(rules_of(&lint(src)), [RULE_DETERMINISM, RULE_DETERMINISM]);
+    }
+
+    #[test]
+    fn environment_rng_seeding_is_flagged() {
+        // The FaultyPlane determinism rule: any entropy source outside
+        // the seeded scenario makes fault injection unreplayable.
+        let src = "fn f() { let a = StdRng::from_entropy(); let b = StdRng::from_os_rng(); let c = OsRng; let _ = (a, b, c); }\n";
+        assert_eq!(
+            rules_of(&lint(src)),
+            [RULE_DETERMINISM, RULE_DETERMINISM, RULE_DETERMINISM]
+        );
+    }
+
+    #[test]
+    fn ambient_rand_random_is_flagged() {
+        let src = "fn f() -> u64 { rand::random() }\n";
+        assert_eq!(rules_of(&lint(src)), [RULE_DETERMINISM]);
+    }
+
+    #[test]
+    fn seeded_rng_is_clean() {
+        let src = "fn f() { let r = StdRng::seed_from_u64(7); let _ = r; }\n";
+        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_DETERMINISM).collect();
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -10,4 +10,12 @@ cargo clippy --all-targets -- -D warnings
 cargo run -q -p ulc-lint -- --json=results/lint.json
 cargo test --features debug_invariants -q
 
+# Message-plane gates (ISSUE 3): the zero-fault differential suite proves
+# the FaultyPlane refactor is bit-identical to the reliable plane on every
+# protocol-comparison workload, and the seeded chaos scenario proves the
+# recovery path (settle + reconcile) restores the full invariants under
+# drops, duplicates, delays and a server crash.
+cargo test -q -p ulc-core --test protocol_comparison
+cargo test -q -p ulc-core --test chaos --features debug_invariants seeded_chaos_scenario_recovers
+
 echo "tier1: ok"
