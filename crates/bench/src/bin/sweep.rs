@@ -2,7 +2,8 @@
 //! prints a machine-readable timing summary.
 //!
 //! Usage: `sweep [--scale=smoke|default|full] [--json=<path>]
-//! [--faults=<scenario>]`.
+//! [--faults=<scenario>] [--bench-json=<path>]
+//! [--bench-baseline=<path>] [--bench-only]`.
 //!
 //! The figure renders go to stdout in a fixed order; the
 //! [`ulc_bench::sweep::SweepSummary`] (threads, wall/cpu milliseconds,
@@ -14,9 +15,20 @@
 //! base scenario of the degradation study — the grid varies its drop
 //! rate. Without the flag the study runs on `FaultScenario::mild(1789)`,
 //! the seeded scenario the golden regression test pins.
+//!
+//! `--bench-json=<path>` runs the E9 engine-throughput study
+//! ([`ulc_bench::throughput`]) and writes the report (accesses/sec per
+//! protocol × workload × trace size, interned vs map-backed reference)
+//! to the given path — `BENCH_sim.json` at the repo root by convention.
+//! `--bench-baseline=<path>` additionally compares the fresh report
+//! against a checked-in baseline and exits non-zero if any interned
+//! accesses/sec rate regressed by more than 25%. `--bench-only` skips
+//! the figure sweep so CI can gate throughput quickly.
 
 use ulc_bench::sweep::Sweep;
-use ulc_bench::{ablation, degradation, fig2, fig3, fig6, fig7, maybe_write_json, table1, Scale};
+use ulc_bench::{
+    ablation, degradation, fig2, fig3, fig6, fig7, maybe_write_json, table1, throughput, Scale,
+};
 use ulc_hierarchy::FaultScenario;
 
 /// Parses `--faults=<dsl>`, defaulting to the pinned mild scenario.
@@ -32,8 +44,56 @@ fn fault_scenario_from_args() -> FaultScenario {
     FaultScenario::mild(1789)
 }
 
+/// Returns the value of a `--flag=<value>` argument, if present.
+fn arg_value(prefix: &str) -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
+}
+
+/// Maximum tolerated drop in interned accesses/sec vs the checked-in
+/// baseline before the gate fails.
+const MAX_BENCH_REGRESSION: f64 = 0.25;
+
+/// Runs the E9 throughput study, writes the report, and applies the
+/// baseline gate. Returns `false` if the gate failed.
+fn run_bench(scale: Scale, json: Option<&str>, baseline: Option<&str>) -> bool {
+    let report = throughput::run(scale);
+    println!("{}", throughput::render(&report));
+    if let Some(path) = json {
+        let file = std::fs::File::create(path)
+            // lint:allow(panic) CLI contract; the message needs the runtime path
+            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        serde_json::to_writer_pretty(file, &report).expect("report serialises");
+        eprintln!("wrote {path}");
+    }
+    let Some(path) = baseline else { return true };
+    let text = std::fs::read_to_string(path)
+        // lint:allow(panic) CLI contract; the message needs the runtime path
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let base: throughput::ThroughputReport =
+        serde_json::from_str(&text).expect("baseline parses");
+    let failures = throughput::check_against_baseline(&report, &base, MAX_BENCH_REGRESSION);
+    if failures.is_empty() {
+        eprintln!("bench gate: ok ({} baseline rows)", base.rows.len());
+        true
+    } else {
+        for f in &failures {
+            eprintln!("bench gate FAILED: {f}");
+        }
+        false
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
+    let bench_json = arg_value("--bench-json=");
+    let bench_baseline = arg_value("--bench-baseline=");
+    let bench_only = std::env::args().any(|a| a == "--bench-only");
+    if bench_only {
+        if !run_bench(scale, bench_json.as_deref(), bench_baseline.as_deref()) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let faults = fault_scenario_from_args();
     let mut sweep: Sweep<String> = Sweep::new();
     sweep.add("table1", move || table1::render(&table1::run(scale)));
@@ -80,4 +140,9 @@ fn main() {
         summary.cpu_ms,
         summary.speedup()
     );
+    if (bench_json.is_some() || bench_baseline.is_some())
+        && !run_bench(scale, bench_json.as_deref(), bench_baseline.as_deref())
+    {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,394 @@
+//! E9: simulation-engine throughput — interned flat tables vs the
+//! retained map-backed reference path.
+//!
+//! Every cell runs the same protocol over the same trace twice: once in
+//! the default [`TableMode::Dense`] (dense block indices, flat `Vec`
+//! tables, dense queue array) and once in [`TableMode::Hashed`] over the
+//! retained [`MapReliablePlane`], i.e. the representation the engine used
+//! before the interning rework. Both runs produce identical `SimStats`
+//! (the differential suite in `ulc-core` proves this bit-exactly); only
+//! the wall-clock differs, and accesses/sec is the figure of merit.
+//!
+//! The `sweep` binary writes the report to `BENCH_sim.json` via
+//! `--bench-json=` and gates regressions against a checked-in baseline
+//! via `--bench-baseline=` (see [`check_against_baseline`]).
+
+use crate::{row, Scale};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use ulc_core::{UlcConfig, UlcMultiConfig, UlcMulti, UlcSingle};
+use ulc_hierarchy::reference::MapReliablePlane;
+use ulc_hierarchy::{simulate, EvictionBased, MultiLevelPolicy, UniLru, UniLruVariant};
+use ulc_trace::patterns::{LoopingPattern, Pattern};
+use ulc_trace::{synthetic, TableMode, Trace};
+
+/// One protocol × workload × trace-size measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThroughputRow {
+    /// Protocol name as used in the figures ("ULC", "uniLRU", …).
+    pub protocol: String,
+    /// Workload name ("loop-100k", "zipf-small", "httpd-multi").
+    pub workload: String,
+    /// References simulated (per run).
+    pub refs: usize,
+    /// Accesses per second of the live interned engine.
+    pub interned_aps: f64,
+    /// Accesses per second of the map-backed reference path.
+    pub reference_aps: f64,
+    /// `interned_aps / reference_aps`.
+    pub speedup: f64,
+}
+
+/// The full throughput report, serialised to `BENCH_sim.json`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Scale label the report was generated at ("smoke", "default",
+    /// "full") — baseline comparisons only make sense within one scale.
+    pub scale: String,
+    /// One row per protocol × workload × trace size.
+    pub rows: Vec<ThroughputRow>,
+}
+
+/// Trace sizes measured per workload. Several sizes per scale so the
+/// report shows how the advantage behaves as tables grow.
+fn trace_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![120_000, 240_000],
+        Scale::Default => vec![240_000, 600_000],
+        Scale::Full => vec![600_000, 2_000_000],
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Default => "default",
+        Scale::Full => "full",
+    }
+}
+
+/// Times one full `simulate` run and returns accesses per second.
+fn accesses_per_sec<P: MultiLevelPolicy>(mut policy: P, trace: &Trace) -> f64 {
+    // lint:allow(determinism) wall-clock timing of the harness itself; never feeds simulator results
+    let start = Instant::now();
+    let stats = simulate(&mut policy, trace, trace.warmup_len());
+    // lint:allow(determinism) wall-clock timing of the harness itself; never feeds simulator results
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(stats);
+    trace.len() as f64 / secs
+}
+
+/// Best-of-N timing: repeats the run until roughly a quarter second of
+/// simulation time has accumulated (at least twice, at most six times)
+/// and keeps the fastest rate. Taking the best absorbs one-off warm-up
+/// effects (page faults, allocator growth) and scheduler preemption
+/// without averaging noise into the result.
+fn best_aps<P: MultiLevelPolicy, F: Fn() -> P>(build: F, trace: &Trace) -> f64 {
+    let mut best = 0.0f64;
+    let mut spent_secs = 0.0;
+    for run in 0..6 {
+        let aps = accesses_per_sec(build(), trace);
+        best = best.max(aps);
+        spent_secs += trace.len() as f64 / aps.max(1e-9);
+        if run >= 1 && spent_secs > 0.25 {
+            break;
+        }
+    }
+    best
+}
+
+/// Measures one cell: the interned engine against its map-backed twin.
+fn measure<D, H, FD, FH>(
+    protocol: &str,
+    workload: &str,
+    trace: &Trace,
+    dense: FD,
+    hashed: FH,
+) -> ThroughputRow
+where
+    D: MultiLevelPolicy,
+    H: MultiLevelPolicy,
+    FD: Fn() -> D,
+    FH: Fn() -> H,
+{
+    let interned_aps = best_aps(dense, trace);
+    let reference_aps = best_aps(hashed, trace);
+    ThroughputRow {
+        protocol: protocol.to_string(),
+        workload: workload.to_string(),
+        refs: trace.len(),
+        interned_aps,
+        reference_aps,
+        speedup: interned_aps / reference_aps.max(1e-9),
+    }
+}
+
+/// Runs the full throughput study.
+///
+/// The headline workload is the D=100k looping pattern: a footprint large
+/// enough that per-block tables dominate the per-reference cost, which is
+/// exactly where dense indices beat hashing. `zipf-small` covers the
+/// skewed small-footprint regime and `httpd-multi` the multi-client ULC
+/// engine with its message plane.
+pub fn run(scale: Scale) -> ThroughputReport {
+    let mut rows = Vec::new();
+    for refs in trace_sizes(scale) {
+        let looping = LoopingPattern::new(100_000).generate(refs);
+        rows.push(measure(
+            "ULC",
+            "loop-100k",
+            &looping,
+            || UlcSingle::new(UlcConfig::new(vec![40_000, 80_000])),
+            || UlcSingle::new_with_mode(UlcConfig::new(vec![40_000, 80_000]), TableMode::Hashed),
+        ));
+        rows.push(measure(
+            "uniLRU",
+            "loop-100k",
+            &looping,
+            || UniLru::single_client(vec![40_000, 80_000]),
+            || {
+                UniLru::multi_client_with_mode(
+                    vec![40_000],
+                    vec![80_000],
+                    UniLruVariant::MruInsert,
+                    TableMode::Hashed,
+                )
+                .with_plane(MapReliablePlane::new())
+            },
+        ));
+        rows.push(measure(
+            "evict-reload",
+            "loop-100k",
+            &looping,
+            || EvictionBased::new(vec![40_000], 80_000, 5),
+            || {
+                EvictionBased::new_with_mode(vec![40_000], 80_000, 5, TableMode::Hashed)
+                    .with_plane(MapReliablePlane::new())
+            },
+        ));
+
+        let zipf = synthetic::zipf_small(refs);
+        rows.push(measure(
+            "ULC",
+            "zipf-small",
+            &zipf,
+            || UlcSingle::new(UlcConfig::new(vec![400, 400, 400])),
+            || {
+                UlcSingle::new_with_mode(
+                    UlcConfig::new(vec![400, 400, 400]),
+                    TableMode::Hashed,
+                )
+            },
+        ));
+        rows.push(measure(
+            "uniLRU",
+            "zipf-small",
+            &zipf,
+            || UniLru::single_client(vec![400, 400, 400]),
+            || {
+                UniLru::multi_client_with_mode(
+                    vec![400],
+                    vec![400, 400],
+                    UniLruVariant::MruInsert,
+                    TableMode::Hashed,
+                )
+                .with_plane(MapReliablePlane::new())
+            },
+        ));
+
+        let multi = synthetic::httpd_multi(refs);
+        rows.push(measure(
+            "ULC-multi",
+            "httpd-multi",
+            &multi,
+            || UlcMulti::new(UlcMultiConfig::uniform(7, 1024, 8192)),
+            || {
+                UlcMulti::new_with_mode(UlcMultiConfig::uniform(7, 1024, 8192), TableMode::Hashed)
+                    .with_plane(MapReliablePlane::new())
+            },
+        ));
+    }
+    ThroughputReport {
+        scale: scale_label(scale).to_string(),
+        rows,
+    }
+}
+
+/// Formats accesses/sec as e.g. `3.2M/s` or `840k/s`.
+pub fn fmt_aps(aps: f64) -> String {
+    if aps >= 1e6 {
+        format!("{:.2}M/s", aps / 1e6)
+    } else {
+        format!("{:.0}k/s", aps / 1e3)
+    }
+}
+
+/// Renders the report as a fixed-width table.
+pub fn render(report: &ThroughputReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "E9: engine throughput, interned flat tables vs map-backed reference ({} scale)\n",
+        report.scale
+    ));
+    s.push_str(&row(
+        "protocol",
+        &[
+            "workload".into(),
+            "refs".into(),
+            "interned".into(),
+            "reference".into(),
+            "speedup".into(),
+        ],
+    ));
+    s.push('\n');
+    for r in &report.rows {
+        s.push_str(&row(
+            &r.protocol,
+            &[
+                r.workload.clone(),
+                format!("{}", r.refs),
+                fmt_aps(r.interned_aps),
+                fmt_aps(r.reference_aps),
+                format!("{:.2}x", r.speedup),
+            ],
+        ));
+        s.push('\n');
+    }
+    s
+}
+
+/// Compares `current` against a checked-in `baseline`: every row present
+/// in both (matched by protocol, workload and refs) must keep its
+/// interned accesses/sec at or above `(1 - max_regression)` of the
+/// baseline. Returns the list of violations, empty on success.
+///
+/// The baseline is deliberately conservative (recorded well below a
+/// healthy machine's measurement) so the gate catches real algorithmic
+/// regressions, not scheduler noise.
+pub fn check_against_baseline(
+    current: &ThroughputReport,
+    baseline: &ThroughputReport,
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut matched = 0usize;
+    for b in &baseline.rows {
+        let Some(c) = current.rows.iter().find(|c| {
+            c.protocol == b.protocol && c.workload == b.workload && c.refs == b.refs
+        }) else {
+            failures.push(format!(
+                "baseline row {}/{}/{} missing from current report",
+                b.protocol, b.workload, b.refs
+            ));
+            continue;
+        };
+        matched += 1;
+        let floor = b.interned_aps * (1.0 - max_regression);
+        if c.interned_aps < floor {
+            failures.push(format!(
+                "{}/{}/{}: {} < {:.0}% of baseline {}",
+                c.protocol,
+                c.workload,
+                c.refs,
+                fmt_aps(c.interned_aps),
+                100.0 * (1.0 - max_regression),
+                fmt_aps(b.interned_aps),
+            ));
+        }
+    }
+    if matched == 0 {
+        failures.push("no baseline row matched the current report (scale mismatch?)".to_string());
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: Vec<ThroughputRow>) -> ThroughputReport {
+        ThroughputReport {
+            scale: "smoke".into(),
+            rows,
+        }
+    }
+
+    fn r(protocol: &str, aps: f64) -> ThroughputRow {
+        ThroughputRow {
+            protocol: protocol.into(),
+            workload: "loop-100k".into(),
+            refs: 1000,
+            interned_aps: aps,
+            reference_aps: aps / 2.0,
+            speedup: 2.0,
+        }
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_tolerance() {
+        let base = report(vec![r("ULC", 1000.0)]);
+        let cur = report(vec![r("ULC", 800.0)]);
+        assert!(check_against_baseline(&cur, &base, 0.25).is_empty());
+    }
+
+    #[test]
+    fn baseline_gate_fails_on_regression() {
+        let base = report(vec![r("ULC", 1000.0)]);
+        let cur = report(vec![r("ULC", 600.0)]);
+        let fails = check_against_baseline(&cur, &base, 0.25);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("ULC/loop-100k"));
+    }
+
+    #[test]
+    fn baseline_gate_reports_missing_rows() {
+        let base = report(vec![r("ULC", 1000.0), r("uniLRU", 500.0)]);
+        let cur = report(vec![r("ULC", 1000.0)]);
+        let fails = check_against_baseline(&cur, &base, 0.25);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("missing"));
+    }
+
+    #[test]
+    fn empty_overlap_is_a_failure() {
+        let base = report(vec![r("ULC", 1000.0)]);
+        let mut cur = report(vec![r("ULC", 1000.0)]);
+        cur.rows[0].refs = 999;
+        let fails = check_against_baseline(&cur, &base, 0.25);
+        assert!(fails.iter().any(|f| f.contains("no baseline row")));
+    }
+
+    #[test]
+    fn aps_formatting() {
+        assert_eq!(fmt_aps(3_200_000.0), "3.20M/s");
+        assert_eq!(fmt_aps(840_000.0), "840k/s");
+    }
+
+    #[test]
+    fn smoke_run_covers_every_protocol_and_size() {
+        // A micro-run (not the real scale) proving the harness wiring:
+        // every cell produces positive rates and a finite speedup.
+        let looping = LoopingPattern::new(500).generate(2_000);
+        let cell = measure(
+            "ULC",
+            "loop-tiny",
+            &looping,
+            || UlcSingle::new(UlcConfig::new(vec![200, 400])),
+            || UlcSingle::new_with_mode(UlcConfig::new(vec![200, 400]), TableMode::Hashed),
+        );
+        assert!(cell.interned_aps > 0.0);
+        assert!(cell.reference_aps > 0.0);
+        assert!(cell.speedup.is_finite());
+        assert_eq!(cell.refs, 2_000);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let rep = report(vec![r("ULC", 1000.0)]);
+        let text = serde_json::to_string(&rep).expect("serialises");
+        let back: ThroughputReport = serde_json::from_str(&text).expect("deserialises");
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].protocol, "ULC");
+        assert_eq!(back.scale, "smoke");
+    }
+}

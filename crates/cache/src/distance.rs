@@ -8,7 +8,7 @@
 //! (a stamp-keyed Fenwick LRU list), instead of O(n²) list walking.
 
 use crate::RecencyList;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::hash::Hash;
 
 /// Computes the LRU stack distance of every reference in `items`.
@@ -34,13 +34,44 @@ pub fn lru_stack_distances<T: Eq + Hash>(items: &[T]) -> Vec<Option<usize>> {
     // The indexed list is pre-sized for the whole pass, so no rebuild
     // ever fires: n moves over at most n dense ids.
     let mut list = RecencyList::with_capacity(n, n);
-    let mut ids: HashMap<&T, usize> = HashMap::new();
+    let mut ids: FxHashMap<&T, usize> = FxHashMap::default();
     let mut out = Vec::with_capacity(n);
     for item in items {
         let next_id = ids.len();
         let id = *ids.entry(item).or_insert(next_id);
         out.push(list.rank_of(id));
         list.move_to_front(id);
+    }
+    out
+}
+
+/// [`lru_stack_distances`] over a pre-interned stream of dense ids: the
+/// per-item hash map disappears entirely — the interned id *is* the
+/// [`RecencyList`] id.
+///
+/// `ids` are dense indices such as those produced by
+/// `ulc_trace::BlockInterner` (any `u32`s work; the list is sized to the
+/// largest id seen).
+///
+/// # Examples
+///
+/// ```
+/// use ulc_cache::{lru_stack_distances, lru_stack_distances_indexed};
+///
+/// // 'a' ↦ 0, 'b' ↦ 1 under first-seen interning.
+/// assert_eq!(
+///     lru_stack_distances_indexed(&[0, 1, 1, 0]),
+///     lru_stack_distances(&['a', 'b', 'b', 'a']),
+/// );
+/// ```
+pub fn lru_stack_distances_indexed(ids: &[u32]) -> Vec<Option<usize>> {
+    let n = ids.len();
+    let universe = ids.iter().map(|&i| i as usize + 1).max().unwrap_or(0);
+    let mut list = RecencyList::with_capacity(universe, n);
+    let mut out = Vec::with_capacity(n);
+    for &id in ids {
+        out.push(list.rank_of(id as usize));
+        list.move_to_front(id as usize);
     }
     out
 }
@@ -150,5 +181,34 @@ mod tests {
     fn empty_input() {
         assert!(lru_stack_distances::<u8>(&[]).is_empty());
         assert!(next_locality_distances::<u8>(&[]).is_empty());
+        assert!(lru_stack_distances_indexed(&[]).is_empty());
+    }
+
+    #[test]
+    fn indexed_matches_generic_on_interned_stream() {
+        let mut x = 3u64;
+        let t: Vec<u64> = (0..2000)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (x >> 40) % 53
+            })
+            .collect();
+        // First-seen dense interning, as ulc_trace::BlockInterner does it.
+        let mut seen: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let ids: Vec<u32> = t
+            .iter()
+            .map(|&b| {
+                let next = seen.len() as u32;
+                *seen.entry(b).or_insert(next)
+            })
+            .collect();
+        assert_eq!(lru_stack_distances_indexed(&ids), lru_stack_distances(&t));
+    }
+
+    #[test]
+    fn indexed_accepts_sparse_ids() {
+        // Ids need not be contiguous; the list sizes to the largest.
+        let d = lru_stack_distances_indexed(&[10, 3, 3, 10]);
+        assert_eq!(d, vec![None, None, Some(0), Some(1)]);
     }
 }

@@ -15,7 +15,7 @@
 //! low-recency re-references.
 
 use crate::{CacheEvent, LruStack};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::hash::Hash;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,7 +44,7 @@ pub struct Lirs<K: Eq + Hash + Clone> {
     stack: LruStack<K>,
     /// Resident-HIR queue `Q`; its *bottom* is the eviction victim.
     queue: LruStack<K>,
-    status: HashMap<K, Status>,
+    status: FxHashMap<K, Status>,
     capacity: usize,
     /// Target number of LIR blocks (capacity minus the HIR pool).
     lir_capacity: usize,
@@ -77,7 +77,7 @@ impl<K: Eq + Hash + Clone> Lirs<K> {
         Lirs {
             stack: LruStack::new(),
             queue: LruStack::new(),
-            status: HashMap::new(),
+            status: FxHashMap::default(),
             capacity,
             lir_capacity,
             lir_count: 0,

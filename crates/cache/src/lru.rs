@@ -1,7 +1,7 @@
 //! Keyed LRU stacks and a bounded LRU cache.
 
 use crate::{LinkedSlab, NodeHandle};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::hash::Hash;
 
 /// An unbounded LRU stack over keys: a recency ordering with O(1) touch,
@@ -25,7 +25,9 @@ use std::hash::Hash;
 #[derive(Clone, Debug, Default)]
 pub struct LruStack<K: Eq + Hash + Clone> {
     list: LinkedSlab<K>,
-    map: HashMap<K, NodeHandle>,
+    // The recency *order* lives in the list; this map only locates nodes,
+    // so the fast deterministic Fx hasher is behaviour-neutral here.
+    map: FxHashMap<K, NodeHandle>,
 }
 
 impl<K: Eq + Hash + Clone> LruStack<K> {
@@ -33,7 +35,7 @@ impl<K: Eq + Hash + Clone> LruStack<K> {
     pub fn new() -> Self {
         LruStack {
             list: LinkedSlab::new(),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
         }
     }
 

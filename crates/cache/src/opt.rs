@@ -6,7 +6,9 @@
 //! every reference, precomputed by [`next_use_times`].
 
 use crate::CacheEvent;
-use std::collections::{BTreeSet, HashMap};
+use fxhash::FxHashMap;
+use std::collections::hash_map::Entry;
+use std::collections::BTreeSet;
 use std::hash::Hash;
 
 /// Sentinel next-use time for "never referenced again".
@@ -15,7 +17,12 @@ pub const NEVER: u64 = u64::MAX;
 /// Computes, for each position `i` of `items`, the position of the next
 /// occurrence of `items[i]` after `i`, or [`NEVER`] if there is none.
 ///
-/// Runs in O(n) with a single backward scan.
+/// Runs in O(n) with a single backward scan and a single hash probe per
+/// step (the entry API reads and replaces the previous position in one
+/// lookup; the old `get`-then-`insert` pair hashed every key twice).
+/// Block-id traces should prefer
+/// `ulc_trace::intern::next_use_times_interned`, which routes the scan
+/// through the dense interner and does no per-step hashing at all.
 ///
 /// # Examples
 ///
@@ -27,12 +34,17 @@ pub const NEVER: u64 = u64::MAX;
 /// ```
 pub fn next_use_times<T: Eq + Hash>(items: &[T]) -> Vec<u64> {
     let mut next = vec![NEVER; items.len()];
-    let mut last_seen: HashMap<&T, usize> = HashMap::new();
+    let mut last_seen: FxHashMap<&T, usize> = FxHashMap::default();
     for (i, item) in items.iter().enumerate().rev() {
-        if let Some(&j) = last_seen.get(item) {
-            next[i] = j as u64;
+        match last_seen.entry(item) {
+            Entry::Occupied(mut e) => {
+                next[i] = *e.get() as u64;
+                e.insert(i);
+            }
+            Entry::Vacant(e) => {
+                e.insert(i);
+            }
         }
-        last_seen.insert(item, i);
     }
     next
 }
@@ -63,7 +75,7 @@ pub fn next_use_times<T: Eq + Hash>(items: &[T]) -> Vec<u64> {
 pub struct OptCache<K: Ord + Eq + Hash + Clone> {
     /// (next_use, key) ordered set; the victim is the last element.
     by_next_use: BTreeSet<(u64, K)>,
-    next_of: HashMap<K, u64>,
+    next_of: FxHashMap<K, u64>,
     capacity: usize,
 }
 
@@ -77,7 +89,7 @@ impl<K: Ord + Eq + Hash + Clone> OptCache<K> {
         assert!(capacity > 0, "cache capacity must be positive");
         OptCache {
             by_next_use: BTreeSet::new(),
-            next_of: HashMap::new(),
+            next_of: FxHashMap::default(),
             capacity,
         }
     }

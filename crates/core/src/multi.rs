@@ -41,26 +41,25 @@
 //! each rebuilds its status table on its next access.
 
 use crate::stack::{Placement, UniLruStack};
-use std::collections::HashMap;
 use ulc_cache::LruStack;
 use ulc_hierarchy::plane::{Direction, Message, MessagePlane, ReliablePlane, RpcFate};
 use ulc_hierarchy::{AccessOutcome, FaultSummary, MultiLevelPolicy};
-use ulc_trace::{BlockId, ClientId};
+use ulc_trace::{BlockId, BlockMap, ClientId, TableMode};
 
 /// The server's global LRU stack with per-block owners.
 #[derive(Clone, Debug)]
 struct GlobalLru {
     stack: LruStack<BlockId>,
-    owner: HashMap<BlockId, u32>,
+    owner: BlockMap<u32>,
     capacity: usize,
 }
 
 impl GlobalLru {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, mode: TableMode) -> Self {
         assert!(capacity > 0, "server capacity must be positive");
         GlobalLru {
             stack: LruStack::new(),
-            owner: HashMap::new(),
+            owner: BlockMap::new(mode),
             capacity,
         }
     }
@@ -74,7 +73,7 @@ impl GlobalLru {
     }
 
     fn owner_of(&self, block: BlockId) -> Option<u32> {
-        self.owner.get(&block).copied()
+        self.owner.get(block).copied()
     }
 
     /// A client requests `block` be cached here; the block moves to the
@@ -93,7 +92,7 @@ impl GlobalLru {
             .filter(|&o| o != requester);
         let replaced = if self.stack.len() > self.capacity {
             let victim = self.stack.pop_bottom().expect("over-full stack");
-            let owner = self.owner.remove(&victim).expect("owned victim");
+            let owner = self.owner.remove(victim).expect("owned victim");
             Some((victim, owner))
         } else {
             None
@@ -107,13 +106,13 @@ impl GlobalLru {
     /// Drops `block` (its owner is promoting it to the client cache).
     fn remove(&mut self, block: BlockId) {
         self.stack.remove(&block);
-        self.owner.remove(&block);
+        self.owner.remove(block);
     }
 
     /// Refreshes `block`'s gLRU position without changing its owner
     /// (a non-owner is using the shared copy).
     fn refresh(&mut self, block: BlockId) {
-        if self.owner.contains_key(&block) {
+        if self.owner.contains_key(block) {
             self.stack.touch(block);
         }
     }
@@ -206,6 +205,7 @@ pub struct UlcMulti<P: MessagePlane = ReliablePlane> {
     server: GlobalLru,
     claim_rule: ClaimRule,
     config: UlcMultiConfig,
+    table_mode: TableMode,
     plane: P,
     /// Protocol-side recovery counters (the plane keeps the transport
     /// counters itself).
@@ -221,6 +221,18 @@ impl UlcMulti {
     ///
     /// Panics if there are no clients or any capacity is zero.
     pub fn new(config: UlcMultiConfig) -> Self {
+        UlcMulti::new_with_mode(config, TableMode::Dense)
+    }
+
+    /// [`UlcMulti::new`] with an explicit block-table representation:
+    /// `TableMode::Dense` (the default interned flat tables) or
+    /// `TableMode::Hashed` (the retained map-backed reference path used by
+    /// the differential suite and throughput baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no clients or any capacity is zero.
+    pub fn new_with_mode(config: UlcMultiConfig, mode: TableMode) -> Self {
         assert!(
             !config.client_capacities.is_empty(),
             "at least one client is required"
@@ -236,15 +248,16 @@ impl UlcMulti {
             .client_capacities
             .iter()
             .map(|&c| ClientState {
-                stack: UniLruStack::new(vec![c, config.server_capacity]),
+                stack: UniLruStack::new_with_mode(vec![c, config.server_capacity], mode),
                 dirty: false,
             })
             .collect();
         UlcMulti {
             clients,
-            server: GlobalLru::new(config.server_capacity),
+            server: GlobalLru::new(config.server_capacity, mode),
             claim_rule: config.claim_rule,
             config,
+            table_mode: mode,
             plane: ReliablePlane::new(),
             recovery: FaultSummary::default(),
             #[cfg(feature = "debug_invariants")]
@@ -262,6 +275,7 @@ impl<P: MessagePlane> UlcMulti<P> {
             server: self.server,
             claim_rule: self.claim_rule,
             config: self.config,
+            table_mode: self.table_mode,
             plane,
             recovery: self.recovery,
             #[cfg(feature = "debug_invariants")]
@@ -462,15 +476,18 @@ impl<P: MessagePlane> UlcMulti<P> {
         for level in self.plane.take_crashes() {
             if level == 0 {
                 for (i, cs) in self.clients.iter_mut().enumerate() {
-                    cs.stack = UniLruStack::new(vec![
-                        self.config.client_capacities[i],
-                        self.config.server_capacity,
-                    ]);
+                    cs.stack = UniLruStack::new_with_mode(
+                        vec![
+                            self.config.client_capacities[i],
+                            self.config.server_capacity,
+                        ],
+                        self.table_mode,
+                    );
                     cs.dirty = false; // a cold client believes nothing
                     self.plane.purge_link(i);
                 }
             } else if level == 1 {
-                self.server = GlobalLru::new(self.server.capacity);
+                self.server = GlobalLru::new(self.server.capacity, self.table_mode);
                 for i in 0..self.clients.len() {
                     self.plane.purge_link(i);
                     self.clients[i].dirty = true;

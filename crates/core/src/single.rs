@@ -9,7 +9,7 @@
 use crate::stack::{Placement, UniLruStack};
 use ulc_cache::LruStack;
 use ulc_hierarchy::{AccessOutcome, MultiLevelPolicy};
-use ulc_trace::{BlockId, ClientId};
+use ulc_trace::{BlockId, ClientId, TableMode};
 
 /// Configuration for the single-client ULC protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -95,7 +95,19 @@ impl UlcSingle {
     ///
     /// Panics if the configuration has no levels or a zero capacity.
     pub fn new(config: UlcConfig) -> Self {
-        let mut stack = UniLruStack::new(config.capacities.clone());
+        UlcSingle::new_with_mode(config, TableMode::Dense)
+    }
+
+    /// [`UlcSingle::new`] with an explicit block-table representation:
+    /// `TableMode::Dense` (the default interned flat tables) or
+    /// `TableMode::Hashed` (the retained map-backed reference path used by
+    /// the differential suite and throughput baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no levels or a zero capacity.
+    pub fn new_with_mode(config: UlcConfig, mode: TableMode) -> Self {
+        let mut stack = UniLruStack::new_with_mode(config.capacities.clone(), mode);
         stack.set_stack_limit(config.stack_limit);
         let levels = config.capacities.len();
         UlcSingle {

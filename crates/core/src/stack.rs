@@ -32,9 +32,8 @@
 //! trimmed (§3.2: the stack size is bounded by `Yₙ`; §5: cold entries can
 //! be trimmed to bound metadata).
 
-use std::collections::HashMap;
 use ulc_cache::{LinkedSlab, NodeHandle};
-use ulc_trace::BlockId;
+use ulc_trace::{BlockId, BlockMap, TableMode};
 
 /// Level tag for "not cached at any level".
 const OUT: u8 = u8::MAX;
@@ -90,7 +89,10 @@ pub struct StackOutcome {
 #[derive(Debug)]
 pub struct UniLruStack {
     list: LinkedSlab<Entry>,
-    map: HashMap<BlockId, NodeHandle>,
+    /// Block → node location. Interned dense table by default; the
+    /// map-backed reference representation via
+    /// [`UniLruStack::new_with_mode`].
+    map: BlockMap<NodeHandle>,
     yardsticks: Vec<Option<NodeHandle>>,
     counts: Vec<usize>,
     capacities: Vec<usize>,
@@ -113,6 +115,19 @@ impl UniLruStack {
     /// Panics if `capacities` is empty, has more than 250 levels, or any
     /// capacity is zero.
     pub fn new(capacities: Vec<usize>) -> Self {
+        UniLruStack::new_with_mode(capacities, TableMode::Dense)
+    }
+
+    /// Creates a stack with an explicit node-table representation:
+    /// [`TableMode::Dense`] (interned flat table, the default engine) or
+    /// [`TableMode::Hashed`] (the retained map-backed reference path used
+    /// by the differential suite and the throughput benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty, has more than 250 levels, or any
+    /// capacity is zero.
+    pub fn new_with_mode(capacities: Vec<usize>, mode: TableMode) -> Self {
         assert!(!capacities.is_empty(), "at least one level is required");
         assert!(capacities.len() < OUT as usize, "too many levels");
         assert!(
@@ -122,7 +137,7 @@ impl UniLruStack {
         let n = capacities.len();
         UniLruStack {
             list: LinkedSlab::new(),
-            map: HashMap::new(),
+            map: BlockMap::new(mode),
             yardsticks: vec![None; n],
             counts: vec![0; n],
             capacities,
@@ -182,7 +197,7 @@ impl UniLruStack {
 
     /// The level a block is cached at, if any.
     pub fn cached_level(&self, block: BlockId) -> Option<usize> {
-        let &h = self.map.get(&block)?;
+        let &h = self.map.get(block)?;
         let e = self.list.get(h).expect("mapped handles are live");
         if e.level == OUT {
             None
@@ -193,7 +208,7 @@ impl UniLruStack {
 
     /// Whether a block has metadata in the stack (cached or history).
     pub fn contains(&self, block: BlockId) -> bool {
-        self.map.contains_key(&block)
+        self.map.contains_key(block)
     }
 
     /// The yardstick block of `level` — the level's replacement victim.
@@ -352,7 +367,7 @@ impl UniLruStack {
                 break;
             }
             let block = e.block;
-            self.map.remove(&block);
+            self.map.remove(block);
             self.list.remove(back);
         }
         // The limit must hold even when cached entries sit at the very
@@ -364,7 +379,7 @@ impl UniLruStack {
                 cursor = self.list.prev(h);
                 if self.entry(h).level == OUT {
                     let block = self.entry(h).block;
-                    self.map.remove(&block);
+                    self.map.remove(block);
                     self.list.remove(h);
                 }
             }
@@ -383,7 +398,7 @@ impl UniLruStack {
             evicted: Vec::new(),
         };
 
-        if let Some(&h) = self.map.get(&block) {
+        if let Some(&h) = self.map.get(block) {
             outcome.was_in_stack = true;
             let level = self.entry(h).level;
             let region = self.region_of(h);
@@ -472,7 +487,7 @@ impl UniLruStack {
     ///
     /// Returns `false` if the block was not cached.
     pub fn evict_cached(&mut self, block: BlockId) -> bool {
-        let Some(&h) = self.map.get(&block) else {
+        let Some(&h) = self.map.get(block) else {
             return false;
         };
         let level = self.entry(h).level;
@@ -521,7 +536,7 @@ impl UniLruStack {
                 assert!(e.stamp < p, "stamps must descend toward the bottom");
             }
             prev = Some(e.stamp);
-            assert_eq!(self.map.get(&e.block), Some(&h), "map is consistent");
+            assert_eq!(self.map.get(e.block), Some(&h), "map is consistent");
             if e.level != OUT {
                 counts[e.level as usize] += 1;
                 deepest[e.level as usize] = Some((e.stamp, e.block));

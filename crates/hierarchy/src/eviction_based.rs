@@ -21,9 +21,9 @@
 use crate::plane::{Direction, Message, MessagePlane, ReliablePlane, RpcFate};
 use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use ulc_cache::LruCache;
-use ulc_trace::{BlockId, ClientId};
+use ulc_trace::{BlockId, BlockMap, ClientId, TableMode};
 
 /// Two-level eviction-based placement: LRU client over an LRU server,
 /// exclusive like DEMOTE, with disk reloads instead of demotions. Generic
@@ -34,7 +34,7 @@ pub struct EvictionBased<P: MessagePlane = ReliablePlane> {
     server: LruCache<BlockId>,
     /// Blocks being fetched from disk into the server: block → ready
     /// time. Drained as simulated time (one unit per reference) passes.
-    pending: HashMap<BlockId, u64>,
+    pending: BlockMap<u64>,
     order: VecDeque<(u64, BlockId)>,
     /// References a disk reload takes to complete.
     reload_latency: u64,
@@ -56,6 +56,28 @@ impl EvictionBased {
         server_capacity: usize,
         reload_latency: u64,
     ) -> Self {
+        EvictionBased::new_with_mode(
+            client_capacities,
+            server_capacity,
+            reload_latency,
+            TableMode::Dense,
+        )
+    }
+
+    /// [`EvictionBased::new`] with an explicit block-table representation:
+    /// `TableMode::Dense` (the default interned flat tables) or
+    /// `TableMode::Hashed` (the retained map-backed reference path used by
+    /// the differential suite and throughput baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client_capacities` is empty or any capacity is zero.
+    pub fn new_with_mode(
+        client_capacities: Vec<usize>,
+        server_capacity: usize,
+        reload_latency: u64,
+        mode: TableMode,
+    ) -> Self {
         assert!(
             !client_capacities.is_empty(),
             "at least one client is required"
@@ -63,7 +85,7 @@ impl EvictionBased {
         EvictionBased {
             clients: client_capacities.into_iter().map(LruCache::new).collect(),
             server: LruCache::new(server_capacity),
-            pending: HashMap::new(),
+            pending: BlockMap::new(mode),
             order: VecDeque::new(),
             reload_latency,
             now: 0,
@@ -108,7 +130,7 @@ impl<P: MessagePlane> EvictionBased<P> {
             }
             self.order.pop_front();
             // Cancelled reloads have been removed from `pending`.
-            if self.pending.remove(&block).is_some() {
+            if self.pending.remove(block).is_some() {
                 self.server.insert_mru(block);
             }
         }
@@ -173,7 +195,7 @@ impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
                     if fate == RpcFate::Delivered {
                         outcome.hit_level = Some(1);
                     }
-                } else if self.pending.remove(&block).is_some() {
+                } else if self.pending.remove(block).is_some() {
                     // Reload window: the block is on its way from disk but
                     // not usable yet; the reference goes to disk, and the
                     // reload is cancelled (the block will live at the

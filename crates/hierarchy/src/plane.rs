@@ -122,6 +122,12 @@ pub struct PlaneAccounting {
     pub rpc_failures: u64,
     /// Crash events delivered to the protocol.
     pub crashes: u64,
+    /// [`MessagePlane::deliver`] calls that handed back at least one
+    /// message. Maintained identically by every plane regardless of its
+    /// queue representation, so a zero-fault run on any plane produces
+    /// the same count — the regression witness for the allocation-reuse
+    /// rework of the queue internals.
+    pub delivery_batches: u64,
 }
 
 impl PlaneAccounting {
@@ -135,6 +141,7 @@ impl PlaneAccounting {
         s.overflow_drops += self.overflow_drops;
         s.rpc_failures += self.rpc_failures;
         s.crashes += self.crashes;
+        s.delivery_batches += self.delivery_batches;
     }
 }
 
@@ -186,11 +193,24 @@ pub trait MessagePlane: std::fmt::Debug {
 
 /// The perfect transport: every message is delivered exactly once, in
 /// send order, within the access that queued it.
+///
+/// Queues live in one dense table indexed by `link * 2 + direction`,
+/// grown on demand (the plane learns its link count from traffic). The
+/// queues are recycled in place: a drained slot keeps its buffer, so a
+/// steady-state run allocates nothing per access. The previous ordered-map
+/// representation is retained as
+/// [`crate::reference::MapReliablePlane`] for the differential suite.
 #[derive(Clone, Debug, Default)]
 pub struct ReliablePlane {
-    queues: BTreeMap<(usize, Direction), VecDeque<Message>>,
+    queues: Vec<VecDeque<Message>>,
     now: u64,
     acct: PlaneAccounting,
+}
+
+/// Dense queue-table slot for `(link, dir)`.
+#[inline]
+fn slot(link: usize, dir: Direction) -> usize {
+    link * 2 + dir as usize
 }
 
 impl ReliablePlane {
@@ -215,21 +235,29 @@ impl MessagePlane for ReliablePlane {
 
     fn send(&mut self, link: usize, dir: Direction, msg: Message) {
         self.acct.sent += 1;
-        self.queues.entry((link, dir)).or_default().push_back(msg);
+        let s = slot(link, dir);
+        if s >= self.queues.len() {
+            self.queues.resize_with(s + 1, VecDeque::new);
+        }
+        self.queues[s].push_back(msg);
     }
 
     fn deliver(&mut self, link: usize, dir: Direction) -> Vec<Message> {
-        let Some(q) = self.queues.get_mut(&(link, dir)) else {
+        let Some(q) = self.queues.get_mut(slot(link, dir)) else {
             return Vec::new();
         };
+        if q.is_empty() {
+            return Vec::new();
+        }
         let out: Vec<Message> = q.drain(..).collect();
         self.acct.delivered += out.len() as u64;
+        self.acct.delivery_batches += 1;
         out
     }
 
     fn queued(&self, link: usize, dir: Direction) -> Vec<Message> {
         self.queues
-            .get(&(link, dir))
+            .get(slot(link, dir))
             .map(|q| q.iter().copied().collect())
             .unwrap_or_default()
     }
@@ -241,7 +269,7 @@ impl MessagePlane for ReliablePlane {
 
     fn purge_link(&mut self, link: usize) {
         for dir in [Direction::Down, Direction::Up] {
-            if let Some(q) = self.queues.get_mut(&(link, dir)) {
+            if let Some(q) = self.queues.get_mut(slot(link, dir)) {
                 self.acct.dropped += q.len() as u64;
                 q.clear();
             }
@@ -249,7 +277,7 @@ impl MessagePlane for ReliablePlane {
     }
 
     fn in_flight(&self) -> usize {
-        self.queues.values().map(|q| q.len()).sum()
+        self.queues.iter().map(|q| q.len()).sum()
     }
 
     fn lossy(&self) -> bool {
@@ -603,18 +631,23 @@ impl MessagePlane for FaultyPlane {
         let Some(q) = self.queues.get_mut(&(link, dir)) else {
             return Vec::new();
         };
-        // Everything due strictly before (now + 1, 0) is deliverable.
-        let still_queued = q.split_off(&(self.now + 1, 0));
-        let due = std::mem::replace(q, still_queued);
-        let mut out = Vec::with_capacity(due.len());
+        // Everything due at or before `now` is deliverable. Due entries
+        // are popped off the front in place: the still-queued tail keeps
+        // its nodes, where the previous split_off + replace rebuilt the
+        // map and reallocated every surviving entry on every call.
+        let mut out = Vec::new();
         let high = self.delivered_high.entry((link, dir)).or_insert(0);
-        for ((_, seq), msg) in due {
+        while q.first_key_value().is_some_and(|(&(due, _), _)| due <= self.now) {
+            let ((_, seq), msg) = q.pop_first().expect("peeked entry is present");
             if seq < *high {
                 self.acct.reordered += 1;
             }
             *high = (*high).max(seq);
             self.acct.delivered += 1;
             out.push(msg);
+        }
+        if !out.is_empty() {
+            self.acct.delivery_batches += 1;
         }
         out
     }

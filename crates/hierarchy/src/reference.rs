@@ -1,0 +1,156 @@
+//! Retained reference implementations for differential testing.
+//!
+//! When a hot-path structure is reworked for throughput, the structure it
+//! replaced moves here so the differential suites can keep proving the
+//! rework bit-identical. [`MapReliablePlane`] is the original
+//! [`ReliablePlane`](crate::ReliablePlane) with its per-link
+//! `BTreeMap<(link, direction), VecDeque>` queue table, replaced in the
+//! live plane by a dense array indexed by `link * 2 + direction`.
+//! (`FaultyPlane` keeps its ordered maps in the live implementation —
+//! reorder semantics need the `(due, seq)` ordering — so it needs no
+//! retained twin.)
+
+use crate::plane::{Direction, Message, MessagePlane, PlaneAccounting, RpcFate};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// The original map-backed perfect transport: every message is delivered
+/// exactly once, in send order, within the access that queued it.
+///
+/// Behaviour (including every [`PlaneAccounting`] counter) is identical to
+/// the dense-array [`ReliablePlane`](crate::ReliablePlane); the
+/// differential suite runs protocols over both and asserts bit-identical
+/// statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MapReliablePlane {
+    queues: BTreeMap<(usize, Direction), VecDeque<Message>>,
+    now: u64,
+    acct: PlaneAccounting,
+}
+
+impl MapReliablePlane {
+    /// A fresh map-backed reliable plane.
+    pub fn new() -> Self {
+        MapReliablePlane::default()
+    }
+}
+
+impl MessagePlane for MapReliablePlane {
+    fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn take_crashes(&mut self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    fn send(&mut self, link: usize, dir: Direction, msg: Message) {
+        self.acct.sent += 1;
+        self.queues.entry((link, dir)).or_default().push_back(msg);
+    }
+
+    fn deliver(&mut self, link: usize, dir: Direction) -> Vec<Message> {
+        let Some(q) = self.queues.get_mut(&(link, dir)) else {
+            return Vec::new();
+        };
+        if q.is_empty() {
+            return Vec::new();
+        }
+        let out: Vec<Message> = q.drain(..).collect();
+        self.acct.delivered += out.len() as u64;
+        self.acct.delivery_batches += 1;
+        out
+    }
+
+    fn queued(&self, link: usize, dir: Direction) -> Vec<Message> {
+        self.queues
+            .get(&(link, dir))
+            .map(|q| q.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn rpc(&mut self, _link: usize) -> RpcFate {
+        self.acct.rpcs += 1;
+        RpcFate::Delivered
+    }
+
+    fn purge_link(&mut self, link: usize) {
+        for dir in [Direction::Down, Direction::Up] {
+            if let Some(q) = self.queues.get_mut(&(link, dir)) {
+                self.acct.dropped += q.len() as u64;
+                q.clear();
+            }
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    fn lossy(&self) -> bool {
+        false
+    }
+
+    fn accounting(&self) -> PlaneAccounting {
+        self.acct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReliablePlane;
+    use ulc_trace::BlockId;
+
+    fn demote(i: u64) -> Message {
+        Message::Demote {
+            block: BlockId::new(i),
+            mru: true,
+            owner: 0,
+        }
+    }
+
+    #[test]
+    fn matches_dense_reliable_plane_exactly() {
+        let mut dense = ReliablePlane::new();
+        let mut map = MapReliablePlane::new();
+        for tick in 0..300u64 {
+            dense.tick();
+            map.tick();
+            for m in 0..(tick % 4) {
+                let link = (tick % 3) as usize;
+                dense.send(link, Direction::Down, demote(m));
+                map.send(link, Direction::Down, demote(m));
+                dense.send(link, Direction::Up, demote(m + 100));
+                map.send(link, Direction::Up, demote(m + 100));
+            }
+            assert_eq!(dense.rpc(0), map.rpc(0));
+            for link in 0..3 {
+                assert_eq!(
+                    dense.queued(link, Direction::Down),
+                    map.queued(link, Direction::Down)
+                );
+                assert_eq!(
+                    dense.deliver(link, Direction::Down),
+                    map.deliver(link, Direction::Down)
+                );
+            }
+            assert_eq!(dense.in_flight(), map.in_flight());
+            if tick == 150 {
+                dense.purge_link(1);
+                map.purge_link(1);
+            }
+        }
+        for link in 0..3 {
+            assert_eq!(
+                dense.deliver(link, Direction::Up),
+                map.deliver(link, Direction::Up)
+            );
+        }
+        assert_eq!(dense.accounting(), map.accounting());
+    }
+}

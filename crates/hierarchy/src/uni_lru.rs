@@ -32,9 +32,8 @@
 use crate::plane::{Direction, Message, MessagePlane, ReliablePlane, RpcFate};
 use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
-use std::collections::HashMap;
 use ulc_cache::LruCache;
-use ulc_trace::{BlockId, ClientId};
+use ulc_trace::{BlockId, BlockMap, ClientId, TableMode};
 
 /// Server insertion policy for demoted blocks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -70,7 +69,7 @@ pub struct UniLru<P: MessagePlane = ReliablePlane> {
     variant: UniLruVariant,
     /// Which client last demoted each block resident in `shared[0]`
     /// (adaptive bookkeeping).
-    demoted_by: HashMap<BlockId, u32>,
+    demoted_by: BlockMap<u32>,
     adaptive: Vec<AdaptiveState>,
     epoch_len: u64,
     plane: P,
@@ -107,6 +106,28 @@ impl UniLru {
         shared_capacities: Vec<usize>,
         variant: UniLruVariant,
     ) -> Self {
+        UniLru::multi_client_with_mode(
+            client_capacities,
+            shared_capacities,
+            variant,
+            TableMode::Dense,
+        )
+    }
+
+    /// [`UniLru::multi_client`] with an explicit block-table
+    /// representation: `TableMode::Dense` (the default interned flat
+    /// tables) or `TableMode::Hashed` (the retained map-backed reference
+    /// path used by the differential suite and throughput baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client_capacities` is empty or any capacity is zero.
+    pub fn multi_client_with_mode(
+        client_capacities: Vec<usize>,
+        shared_capacities: Vec<usize>,
+        variant: UniLruVariant,
+        mode: TableMode,
+    ) -> Self {
         assert!(
             !client_capacities.is_empty(),
             "at least one client is required"
@@ -116,7 +137,7 @@ impl UniLru {
             clients: client_capacities.into_iter().map(LruCache::new).collect(),
             shared: shared_capacities.into_iter().map(LruCache::new).collect(),
             variant,
-            demoted_by: HashMap::new(),
+            demoted_by: BlockMap::new(mode),
             adaptive: vec![
                 AdaptiveState {
                     mru_mode: true,
@@ -199,7 +220,7 @@ impl<P: MessagePlane> UniLru<P> {
                 "demoted_by owner {owner} out of range"
             );
             assert!(
-                self.shared.first().is_some_and(|s| s.contains(b)),
+                self.shared.first().is_some_and(|s| s.contains(&b)),
                 "demoted_by tracks {b:?} which is not in the first shared level"
             );
         }
@@ -292,7 +313,7 @@ impl<P: MessagePlane> UniLru<P> {
         };
         if let Some(w) = incoming {
             if j == 0 && w != block {
-                self.demoted_by.remove(&w);
+                self.demoted_by.remove(w);
             }
             // Cascade down the next boundary with MRU insertion; evicted
             // from the last level means dropped.
@@ -389,7 +410,7 @@ impl<P: MessagePlane> UniLru<P> {
                 for s in 0..self.shared.len() {
                     if self.shared[s].remove(&b) {
                         if s == 0 {
-                            self.demoted_by.remove(&b);
+                            self.demoted_by.remove(b);
                         }
                         self.recovery.residency_violations_detected += 1;
                         self.recovery.residency_violations_repaired += 1;
@@ -457,7 +478,7 @@ impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
                     if self.shared[i].contains(&block) {
                         self.shared[i].remove(&block);
                         if i == 0 {
-                            if let Some(owner) = self.demoted_by.remove(&block) {
+                            if let Some(owner) = self.demoted_by.remove(block) {
                                 if self.variant == UniLruVariant::Adaptive {
                                     self.adaptive[owner as usize].demoted_hits += 1;
                                 }

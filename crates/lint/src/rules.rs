@@ -1,6 +1,6 @@
 //! The lint rules, the allowlist protocol and the per-file driver.
 //!
-//! Four rule classes guard the repo's headline guarantees (see DESIGN.md
+//! Five rule classes guard the repo's headline guarantees (see DESIGN.md
 //! §5c):
 //!
 //! * [`RULE_DETERMINISM`] — no iteration over `HashMap`/`HashSet` (their
@@ -16,7 +16,12 @@
 //!   without a message, or `panic!`/`unreachable!`/`todo!`/
 //!   `unimplemented!`; the sanctioned form for unreachable states is
 //!   `expect("invariant: …")` with a string-literal message;
-//! * [`RULE_DOCS`] — public items in library code need doc comments.
+//! * [`RULE_DOCS`] — public items in library code need doc comments;
+//! * [`RULE_HOT_PATH_MAP`] — the simulation hot-path modules listed in
+//!   [`HOT_PATH_MODULES`] must not reintroduce `std::collections`
+//!   `HashMap`/`HashSet` (SipHash per operation): per-block state belongs
+//!   in `ulc_trace::BlockMap` dense tables or vendored `FxHashMap`
+//!   (see DESIGN.md §5e).
 //!
 //! A diagnostic is suppressed by an allowlist comment on the same line or
 //! the line above the offending code:
@@ -44,15 +49,41 @@ pub const RULE_PANIC: &str = "panic";
 pub const RULE_DOCS: &str = "missing-docs";
 /// Rule name: malformed allowlist comments.
 pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+/// Rule name: std hash tables in simulation hot-path modules.
+pub const RULE_HOT_PATH_MAP: &str = "hot-path-map";
 
 /// Every rule the pass knows, in reporting order.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     RULE_DETERMINISM,
     RULE_UNSAFE,
     RULE_PANIC,
     RULE_DOCS,
     RULE_ALLOW_SYNTAX,
+    RULE_HOT_PATH_MAP,
 ];
+
+/// Per-reference hot-path modules of the simulation engine: code here
+/// runs for every trace record, so per-block state must use interned
+/// dense tables (`ulc_trace::BlockMap`) or the vendored `FxHashMap` —
+/// never SipHash `std::collections` tables. Matched as path suffixes.
+pub const HOT_PATH_MODULES: [&str; 10] = [
+    "crates/core/src/stack.rs",
+    "crates/core/src/multi.rs",
+    "crates/hierarchy/src/uni_lru.rs",
+    "crates/hierarchy/src/eviction_based.rs",
+    "crates/hierarchy/src/plane.rs",
+    "crates/cache/src/lru.rs",
+    "crates/cache/src/lirs.rs",
+    "crates/cache/src/opt.rs",
+    "crates/cache/src/distance.rs",
+    "crates/trace/src/intern.rs",
+];
+
+/// Whether `path` names one of the [`HOT_PATH_MODULES`].
+fn is_hot_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    HOT_PATH_MODULES.iter().any(|m| p.ends_with(m))
+}
 
 /// How a file participates in the rule set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -144,6 +175,9 @@ pub fn check_source(path: &str, src: &str, kind: FileKind) -> Vec<Diagnostic> {
     if kind == FileKind::Library {
         panic_rule(path, &file, &in_test, &mut diags);
         docs_rule(path, &file, &in_test, &mut diags);
+        if is_hot_path(path) {
+            hot_path_map_rule(path, &file, &in_test, &mut diags);
+        }
     }
 
     diags.retain(|d| {
@@ -472,6 +506,27 @@ fn determinism_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut 
     }
 }
 
+/// Flags `HashMap`/`HashSet` tokens in hot-path modules. `FxHashMap` and
+/// `BTreeMap` idents are distinct tokens and pass untouched; test modules
+/// are exempt like everywhere else.
+fn hot_path_map_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    for (i, t) in file.tokens.iter().enumerate() {
+        if in_test[i] || !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            path,
+            t.line,
+            RULE_HOT_PATH_MAP,
+            &format!(
+                "`{}` in hot-path module; use `ulc_trace::BlockMap` or the vendored \
+                 `FxHashMap`, or justify with `lint:allow(hot-path-map)`",
+                t.text
+            ),
+        ));
+    }
+}
+
 fn unsafe_rule(path: &str, file: &LexedFile, diags: &mut Vec<Diagnostic>) {
     for t in &file.tokens {
         if !t.is_ident("unsafe") {
@@ -795,6 +850,56 @@ mod tests {
     fn allow_file_suppresses_everywhere() {
         let src = "// lint:allow-file(panic) exploratory tool\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
         let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_PANIC).collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_std_map_is_flagged() {
+        let src = "fn f() { let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new(); let _ = m.len(); }\n";
+        let d: Vec<_> = check_source("crates/core/src/stack.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_MAP)
+            .collect();
+        assert_eq!(d.len(), 2, "{d:?}"); // the ascription and the constructor
+    }
+
+    #[test]
+    fn hot_path_rule_skips_other_modules() {
+        let src = "fn f() { let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new(); let _ = m.len(); }\n";
+        let d: Vec<_> = check_source("crates/bench/src/fig6.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_MAP)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_fx_and_btree_maps_are_clean() {
+        let src = "fn f() { let m: FxHashMap<u32, u32> = FxHashMap::default(); let b: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new(); let _ = (m.len(), b.len()); }\n";
+        let d: Vec<_> = check_source("crates/hierarchy/src/plane.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_MAP)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_allow_comment_suppresses() {
+        let src = "// lint:allow(hot-path-map) retained reference representation\nfn f() { let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new(); let _ = m.len(); }\n";
+        let d: Vec<_> = check_source("crates/trace/src/intern.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_MAP || d.rule == RULE_ALLOW_SYNTAX)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let m = std::collections::HashMap::new(); let _ = m.len(); }\n}\n";
+        let d: Vec<_> = check_source("crates/cache/src/lirs.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_MAP)
+            .collect();
         assert!(d.is_empty(), "{d:?}");
     }
 

@@ -160,6 +160,39 @@ fn fixture_suite_covers_all_rule_classes() {
     );
 }
 
+fn lint_fixture_as(name: &str, label: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    lint_source(label, &src, FileKind::Library)
+}
+
+#[test]
+fn hot_path_map_positive_cases() {
+    // The rule only fires under a hot-path module label.
+    let d = lint_fixture_as("hot_path_map_pos.rs", "crates/core/src/stack.rs");
+    assert_eq!(
+        signature(&d),
+        [
+            (7, "hot-path-map"),  // HashMap field
+            (11, "hot-path-map"), // HashSet return type
+            (12, "hot-path-map"), // HashSet constructor
+        ],
+        "{d:#?}"
+    );
+    // Under any other label the same source is clean.
+    let d = lint_fixture("hot_path_map_pos.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn hot_path_map_negative_cases() {
+    let d = lint_fixture_as("hot_path_map_neg.rs", "crates/trace/src/intern.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
 /// The workspace walk must skip the deliberately-violating fixtures.
 #[test]
 fn workspace_walk_skips_fixtures() {

@@ -1,0 +1,21 @@
+//! Negative cases for the hot-path-map rule: dense tables, fast hashing
+//! and ordered maps are all fine in hot-path modules, and the retained
+//! reference representation is allowlisted with a reason.
+
+/// A per-block table.
+pub struct Table {
+    dense: Vec<Option<u32>>,
+    fast: FxHashMap<u64, u32>,
+    ordered: std::collections::BTreeMap<u64, u32>,
+    // lint:allow(hot-path-map) retained map-backed reference representation
+    reference: std::collections::HashMap<u64, u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_std_maps() {
+        let m: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! Positive cases for the hot-path-map rule: std hash tables in a module
+//! on the hot-path list. Linted under the path label
+//! `crates/core/src/stack.rs` by the fixture suite.
+
+/// A per-block table.
+pub struct Table {
+    map: std::collections::HashMap<u64, u32>,
+}
+
+/// Builds the set.
+pub fn build() -> std::collections::HashSet<u64> {
+    std::collections::HashSet::new()
+}

@@ -1,0 +1,541 @@
+//! Dense block-ID interning and flat-table block maps.
+//!
+//! Every hot loop in the simulation engine keys some table by [`BlockId`].
+//! A `std::collections::HashMap<BlockId, V>` pays a SipHash of the full
+//! 64-bit id on every probe; the engine, however, only ever sees a
+//! bounded universe of blocks — the trace footprint — so the ids can be
+//! *interned* once into dense `u32` indices and every subsequent table
+//! access becomes a vector index.
+//!
+//! * [`BlockInterner`] assigns dense indices in first-seen order. Indices
+//!   are **stable under incremental insertion**: interning a stream
+//!   record-by-record (the online case) yields exactly the indices a
+//!   whole-trace pass would (see the property tests).
+//! * [`BlockMap`] is the flat `Vec`-indexed table the protocols use. The
+//!   pre-existing map-backed path is retained behind
+//!   [`TableMode::Hashed`] so the differential suite (and the E9
+//!   benchmark) can run both representations through identical protocol
+//!   code and prove bit-identical `SimStats`.
+//! * [`next_use_times_interned`] routes the OPT forward-distance scan
+//!   through the interner (one intern per reference, then pure array
+//!   arithmetic), replacing the borrow-then-rehash double hashing the
+//!   generic scan used to do.
+//!
+//! The dense representation is a two-tier flat table. Raw ids below
+//! [`DIRECT_LIMIT`] — every looping/Zipf/temporal synthetic workload and
+//! any real trace with compact block numbers — index a direct slot vector
+//! with **no hashing at all**; sparse ids (file-set ids pack the file
+//! index at bit 32) fall back to the vendored fast-hash map, one cheap
+//! multiply-rotate hash instead of a SipHash. This is what buys the E9
+//! throughput win: the hot path degenerates to a bounds check and a
+//! vector load.
+//!
+//! Iteration over a [`BlockMap`] visits direct entries in raw-id order,
+//! then fallback entries in fast-hash order, for [`TableMode::Dense`] but
+//! SipHash order for [`TableMode::Hashed`]; callers must only iterate
+//! where order is behaviourally irrelevant (the same rule the workspace
+//! lint enforces for hash maps).
+
+use crate::{BlockId, Trace};
+use fxhash::FxHashMap;
+
+/// A sentinel meaning "no next use" in the OPT forward scan; matches
+/// `ulc_cache::opt::NEVER`.
+const NEVER: u64 = u64::MAX;
+
+/// Raw block ids below this bound are direct-indexed by a dense
+/// [`BlockMap`]; ids at or above it (file-set ids pack the file index at
+/// bit 32) go through the interner. Bounds the worst-case direct table at
+/// 2 M slots per map.
+pub const DIRECT_LIMIT: u64 = 1 << 21;
+
+/// Maps [`BlockId`]s to dense `u32` indices in first-seen order.
+///
+/// # Examples
+///
+/// ```
+/// use ulc_trace::{BlockId, BlockInterner};
+///
+/// let mut interner = BlockInterner::new();
+/// let a = interner.intern(BlockId::new(700));
+/// let b = interner.intern(BlockId::new(3));
+/// assert_eq!((a, b), (0, 1));
+/// assert_eq!(interner.intern(BlockId::new(700)), 0); // stable
+/// assert_eq!(interner.resolve(1), Some(BlockId::new(3)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BlockInterner {
+    index_of: FxHashMap<u64, u32>,
+    blocks: Vec<BlockId>,
+}
+
+impl BlockInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        BlockInterner::default()
+    }
+
+    /// Creates an empty interner with room for `capacity` distinct blocks.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BlockInterner {
+            index_of: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            blocks: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Builds an interner over a whole trace and returns it together with
+    /// the trace's reference stream re-expressed as dense indices.
+    pub fn from_trace(trace: &Trace) -> (Self, Vec<u32>) {
+        let mut interner = BlockInterner::with_capacity(trace.len().min(1 << 20));
+        let ids = trace.iter().map(|r| interner.intern(r.block)).collect();
+        (interner, ids)
+    }
+
+    /// Interns `block`, returning its dense index. The first call for a
+    /// given block assigns the next free index; later calls return the
+    /// same index forever.
+    #[inline]
+    pub fn intern(&mut self, block: BlockId) -> u32 {
+        match self.index_of.entry(block.raw()) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let idx = self.blocks.len() as u32;
+                assert!(idx != u32::MAX, "block universe exceeds u32 indices");
+                self.blocks.push(block);
+                e.insert(idx);
+                idx
+            }
+        }
+    }
+
+    /// Returns the dense index of `block` if it has been interned.
+    #[inline]
+    pub fn get(&self, block: BlockId) -> Option<u32> {
+        self.index_of.get(&block.raw()).copied()
+    }
+
+    /// Returns the block behind a dense index, if `idx` was assigned.
+    #[inline]
+    pub fn resolve(&self, idx: u32) -> Option<BlockId> {
+        self.blocks.get(idx as usize).copied()
+    }
+
+    /// Number of distinct blocks interned so far.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Which table representation a [`BlockMap`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableMode {
+    /// Interned dense indices over a flat `Vec` — the default engine.
+    Dense,
+    /// The pre-existing `std::collections::HashMap` path, retained as the
+    /// reference implementation for differential tests and benchmarks.
+    Hashed,
+}
+
+/// A map from [`BlockId`] to `V` with a switchable representation.
+///
+/// [`TableMode::Dense`] stores values in a flat slot vector: raw ids
+/// below [`DIRECT_LIMIT`] index the table directly with no hashing at
+/// all; sparser ids fall back to the vendored fast-hash map.
+/// [`TableMode::Hashed`] is the historical SipHash `HashMap`. Both
+/// representations implement identical map semantics, which is exactly
+/// what the differential suite asserts end-to-end through the protocols.
+///
+/// # Examples
+///
+/// ```
+/// use ulc_trace::{BlockId, BlockMap, TableMode};
+///
+/// let mut m: BlockMap<u32> = BlockMap::new(TableMode::Dense);
+/// assert_eq!(m.insert(BlockId::new(9), 1), None);
+/// assert_eq!(m.insert(BlockId::new(9), 2), Some(1));
+/// assert_eq!(m.get(BlockId::new(9)), Some(&2));
+/// assert_eq!(m.remove(BlockId::new(9)), Some(2));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockMap<V> {
+    repr: Repr<V>,
+}
+
+#[derive(Clone, Debug)]
+enum Repr<V> {
+    Dense {
+        /// Slots for raw ids below [`DIRECT_LIMIT`], indexed by the raw id
+        /// itself; grown on demand to the largest id seen.
+        direct: Vec<Option<V>>,
+        /// Occupied slots in `direct`.
+        direct_len: usize,
+        /// Fast-hash fallback for sparse raw ids (at or above
+        /// [`DIRECT_LIMIT`]).
+        sparse: FxHashMap<u64, V>,
+    },
+    // lint:allow(hot-path-map) this is the retained map-backed reference representation itself
+    Hashed(std::collections::HashMap<BlockId, V>),
+}
+
+impl<V> Default for BlockMap<V> {
+    fn default() -> Self {
+        BlockMap::new(TableMode::Dense)
+    }
+}
+
+impl<V> BlockMap<V> {
+    /// Creates an empty map with the given representation.
+    pub fn new(mode: TableMode) -> Self {
+        let repr = match mode {
+            TableMode::Dense => Repr::Dense {
+                direct: Vec::new(),
+                direct_len: 0,
+                sparse: FxHashMap::default(),
+            },
+            TableMode::Hashed => Repr::Hashed(Default::default()),
+        };
+        BlockMap { repr }
+    }
+
+    /// The representation this map was built with.
+    pub fn mode(&self) -> TableMode {
+        match self.repr {
+            Repr::Dense { .. } => TableMode::Dense,
+            Repr::Hashed(_) => TableMode::Hashed,
+        }
+    }
+
+    /// Returns a reference to the value for `block`, if present.
+    #[inline]
+    pub fn get(&self, block: BlockId) -> Option<&V> {
+        match &self.repr {
+            Repr::Dense { direct, sparse, .. } => {
+                let raw = block.raw();
+                if raw < DIRECT_LIMIT {
+                    direct.get(raw as usize).and_then(Option::as_ref)
+                } else {
+                    sparse.get(&raw)
+                }
+            }
+            Repr::Hashed(m) => m.get(&block),
+        }
+    }
+
+    /// Returns a mutable reference to the value for `block`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, block: BlockId) -> Option<&mut V> {
+        match &mut self.repr {
+            Repr::Dense { direct, sparse, .. } => {
+                let raw = block.raw();
+                if raw < DIRECT_LIMIT {
+                    direct.get_mut(raw as usize).and_then(Option::as_mut)
+                } else {
+                    sparse.get_mut(&raw)
+                }
+            }
+            Repr::Hashed(m) => m.get_mut(&block),
+        }
+    }
+
+    /// Returns `true` if `block` has a value.
+    #[inline]
+    pub fn contains_key(&self, block: BlockId) -> bool {
+        self.get(block).is_some()
+    }
+
+    /// Inserts `value` for `block`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, block: BlockId, value: V) -> Option<V> {
+        match &mut self.repr {
+            Repr::Dense {
+                direct,
+                direct_len,
+                sparse,
+            } => {
+                let raw = block.raw();
+                if raw < DIRECT_LIMIT {
+                    let i = raw as usize;
+                    if i >= direct.len() {
+                        direct.resize_with(i + 1, || None);
+                    }
+                    let old = direct[i].replace(value);
+                    if old.is_none() {
+                        *direct_len += 1;
+                    }
+                    old
+                } else {
+                    sparse.insert(raw, value)
+                }
+            }
+            Repr::Hashed(m) => m.insert(block, value),
+        }
+    }
+
+    /// Removes and returns the value for `block`, if present.
+    #[inline]
+    pub fn remove(&mut self, block: BlockId) -> Option<V> {
+        match &mut self.repr {
+            Repr::Dense {
+                direct,
+                direct_len,
+                sparse,
+            } => {
+                let raw = block.raw();
+                if raw < DIRECT_LIMIT {
+                    let old = direct.get_mut(raw as usize).and_then(Option::take);
+                    if old.is_some() {
+                        *direct_len -= 1;
+                    }
+                    old
+                } else {
+                    sparse.remove(&raw)
+                }
+            }
+            Repr::Hashed(m) => m.remove(&block),
+        }
+    }
+
+    /// Number of entries with a value.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Dense {
+                direct_len, sparse, ..
+            } => direct_len + sparse.len(),
+            Repr::Hashed(m) => m.len(),
+        }
+    }
+
+    /// Returns `true` if the map holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every value. The direct table keeps its slots allocated,
+    /// so re-inserted blocks pay no regrowth.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Dense {
+                direct,
+                direct_len,
+                sparse,
+            } => {
+                for s in direct.iter_mut() {
+                    *s = None;
+                }
+                *direct_len = 0;
+                sparse.clear();
+            }
+            Repr::Hashed(m) => m.clear(),
+        }
+    }
+
+    /// Iterates over `(block, &value)` pairs.
+    ///
+    /// Order is raw-id order over the direct table, then fast-hash order
+    /// over the sparse fallback, for [`TableMode::Dense`] and SipHash
+    /// order for [`TableMode::Hashed`]; use only where order cannot
+    /// influence behaviour.
+    pub fn iter(&self) -> Iter<'_, V> {
+        match &self.repr {
+            Repr::Dense { direct, sparse, .. } => Iter::Dense {
+                direct: direct.iter().enumerate(),
+                // lint:allow(determinism) documented order-insensitive iterator; callers may not depend on order
+                sparse: sparse.iter(),
+            },
+            // lint:allow(determinism) documented order-insensitive iterator over the reference representation
+            Repr::Hashed(m) => Iter::Hashed(m.iter()),
+        }
+    }
+}
+
+/// Iterator over a [`BlockMap`]; created by [`BlockMap::iter`].
+#[derive(Debug)]
+pub enum Iter<'a, V> {
+    /// Dense walk: direct slots in raw-id order, then the sparse fallback
+    /// in fast-hash order.
+    Dense {
+        /// Enumerated direct-slot cursor (index is the raw id).
+        direct: std::iter::Enumerate<std::slice::Iter<'a, Option<V>>>,
+        /// Sparse-fallback cursor.
+        sparse: std::collections::hash_map::Iter<'a, u64, V>,
+    },
+    /// Hash-map walk (arbitrary order).
+    Hashed(std::collections::hash_map::Iter<'a, BlockId, V>),
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (BlockId, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            Iter::Dense { direct, sparse } => {
+                for (raw, slot) in direct.by_ref() {
+                    if let Some(v) = slot.as_ref() {
+                        return Some((BlockId::new(raw as u64), v));
+                    }
+                }
+                sparse.next().map(|(&raw, v)| (BlockId::new(raw), v))
+            }
+            Iter::Hashed(it) => it.next().map(|(b, v)| (*b, v)),
+        }
+    }
+}
+
+/// OPT forward distances, routed through the interner: for every position
+/// `i`, the time of the next reference to the same block, or `u64::MAX`
+/// if it is never referenced again.
+///
+/// This is the interned replacement for the generic
+/// `ulc_cache::opt::next_use_times` scan, which kept a
+/// `HashMap<&T, usize>` and hashed each key twice per step (a lookup
+/// immediately followed by an insert). Here each reference is interned
+/// once (one fast hash) and the scan itself is pure array arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use ulc_trace::{intern::next_use_times_interned, BlockId};
+///
+/// let blocks: Vec<BlockId> = [1u64, 2, 1].map(BlockId::new).into();
+/// assert_eq!(next_use_times_interned(&blocks), vec![2, u64::MAX, u64::MAX]);
+/// ```
+pub fn next_use_times_interned(blocks: &[BlockId]) -> Vec<u64> {
+    let mut interner = BlockInterner::with_capacity(blocks.len().min(1 << 20));
+    let ids: Vec<u32> = blocks.iter().map(|&b| interner.intern(b)).collect();
+    let mut last_seen: Vec<u64> = vec![NEVER; interner.len()];
+    let mut out = vec![NEVER; ids.len()];
+    for (i, &id) in ids.iter().enumerate().rev() {
+        out[i] = last_seen[id as usize];
+        last_seen[id as usize] = i as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raws: &[u64]) -> Vec<BlockId> {
+        raws.iter().copied().map(BlockId::new).collect()
+    }
+
+    #[test]
+    fn intern_assigns_first_seen_order() {
+        let mut it = BlockInterner::new();
+        assert_eq!(it.intern(BlockId::new(50)), 0);
+        assert_eq!(it.intern(BlockId::new(7)), 1);
+        assert_eq!(it.intern(BlockId::new(50)), 0);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.get(BlockId::new(7)), Some(1));
+        assert_eq!(it.get(BlockId::new(8)), None);
+        assert_eq!(it.resolve(0), Some(BlockId::new(50)));
+        assert_eq!(it.resolve(2), None);
+    }
+
+    #[test]
+    fn from_trace_matches_incremental() {
+        let t = Trace::from_blocks(ids(&[5, 9, 5, 2, 9, 5]));
+        let (interner, stream) = BlockInterner::from_trace(&t);
+        assert_eq!(stream, vec![0, 1, 0, 2, 1, 0]);
+        let mut inc = BlockInterner::new();
+        let inc_stream: Vec<u32> = t.iter().map(|r| inc.intern(r.block)).collect();
+        assert_eq!(stream, inc_stream);
+        assert_eq!(interner.len(), inc.len());
+    }
+
+    #[test]
+    fn block_map_semantics_match_between_modes() {
+        for mode in [TableMode::Dense, TableMode::Hashed] {
+            let mut m: BlockMap<u32> = BlockMap::new(mode);
+            assert_eq!(m.mode(), mode);
+            assert!(m.is_empty());
+            assert_eq!(m.insert(BlockId::new(3), 30), None);
+            assert_eq!(m.insert(BlockId::new(4), 40), None);
+            assert_eq!(m.insert(BlockId::new(3), 31), Some(30));
+            assert_eq!(m.len(), 2);
+            assert_eq!(m.get(BlockId::new(3)), Some(&31));
+            assert!(m.contains_key(BlockId::new(4)));
+            *m.get_mut(BlockId::new(4)).unwrap() += 1;
+            assert_eq!(m.remove(BlockId::new(4)), Some(41));
+            assert_eq!(m.remove(BlockId::new(4)), None);
+            assert_eq!(m.len(), 1);
+            m.clear();
+            assert!(m.is_empty());
+            assert_eq!(m.get(BlockId::new(3)), None);
+            // Reuse after clear.
+            assert_eq!(m.insert(BlockId::new(3), 99), None);
+            assert_eq!(m.get(BlockId::new(3)), Some(&99));
+        }
+    }
+
+    #[test]
+    fn dense_iter_is_raw_order_then_spill_order() {
+        let mut m: BlockMap<u32> = BlockMap::new(TableMode::Dense);
+        m.insert(BlockId::new(9), 1);
+        m.insert(BlockId::new(2), 2);
+        m.insert(BlockId::new(5), 3);
+        m.insert(BlockId::new(DIRECT_LIMIT + 7), 4); // spills
+        m.remove(BlockId::new(2));
+        let got: Vec<(u64, u32)> = m.iter().map(|(b, &v)| (b.raw(), v)).collect();
+        assert_eq!(got, vec![(5, 3), (9, 1), (DIRECT_LIMIT + 7, 4)]);
+    }
+
+    #[test]
+    fn sparse_ids_use_the_fast_hash_fallback() {
+        // File-set ids pack the file index at bit 32, far above
+        // DIRECT_LIMIT; both tiers must obey identical map semantics.
+        let lo = BlockId::new(3);
+        let hi = BlockId::new((7u64 << 32) | 3);
+        for mode in [TableMode::Dense, TableMode::Hashed] {
+            let mut m: BlockMap<u32> = BlockMap::new(mode);
+            assert_eq!(m.insert(lo, 1), None);
+            assert_eq!(m.insert(hi, 2), None);
+            assert_eq!(m.len(), 2);
+            assert_eq!(m.get(lo), Some(&1));
+            assert_eq!(m.get(hi), Some(&2));
+            assert_eq!(m.insert(hi, 20), Some(2));
+            assert_eq!(m.remove(hi), Some(20));
+            assert_eq!(m.get(hi), None);
+            assert_eq!(m.get(lo), Some(&1));
+            m.clear();
+            assert!(m.is_empty());
+            assert_eq!(m.insert(hi, 9), None);
+            assert_eq!(m.get(hi), Some(&9));
+        }
+    }
+
+    #[test]
+    fn hashed_iter_visits_every_entry() {
+        let mut m: BlockMap<u32> = BlockMap::new(TableMode::Hashed);
+        for i in 0..10u64 {
+            m.insert(BlockId::new(i), i as u32);
+        }
+        let mut got: Vec<u64> = m.iter().map(|(b, _)| b.raw()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interned_next_use_matches_naive() {
+        let blocks = ids(&[1, 2, 1, 3, 2, 1, 4]);
+        let got = next_use_times_interned(&blocks);
+        // Naive O(n^2) oracle.
+        let mut want = vec![NEVER; blocks.len()];
+        for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                if blocks[j] == blocks[i] {
+                    want[i] = j as u64;
+                    break;
+                }
+            }
+        }
+        assert_eq!(got, want);
+        assert!(next_use_times_interned(&[]).is_empty());
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 mod block;
+pub mod intern;
 pub mod io;
 pub mod multi;
 pub mod patterns;
@@ -40,6 +41,7 @@ mod stats;
 pub mod synthetic;
 
 pub use block::{blocks_for_bytes, blocks_for_mib, BlockId, ClientId, FileId, BLOCK_SIZE_BYTES};
+pub use intern::{BlockInterner, BlockMap, TableMode, DIRECT_LIMIT};
 pub use record::{Trace, TraceRecord};
 pub use rng::{seeded_rng, TruncatedGeometric, Zipf};
 pub use stats::TraceStats;

@@ -18,4 +18,14 @@ cargo test --features debug_invariants -q
 cargo test -q -p ulc-core --test protocol_comparison
 cargo test -q -p ulc-core --test chaos --features debug_invariants seeded_chaos_scenario_recovers
 
+# Throughput gate (ISSUE 4): the differential suite above proves the
+# interned flat tables bit-identical; this proves they stay fast. The
+# smoke-scale harness rewrites BENCH_sim.json and fails if any interned
+# accesses/sec rate drops more than 25% below the conservative checked-in
+# baseline (BENCH_baseline.json, recorded well under a healthy machine's
+# measurement so scheduler noise cannot trip the gate).
+cargo run -q --release -p ulc-bench --bin sweep -- \
+  --bench-only --scale=smoke \
+  --bench-json=BENCH_sim.json --bench-baseline=BENCH_baseline.json
+
 echo "tier1: ok"

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rustc-hash`/`fxhash` crates.
+//!
+//! [`FxHasher`] is the multiply-rotate hash used by rustc's interners: one
+//! rotate, one xor and one multiplication per word. It is not
+//! collision-resistant against adversaries, which is irrelevant here —
+//! every key in this workspace comes from a trace file or a deterministic
+//! generator, never from an attacker — and it is several times faster than
+//! the SipHash used by `std::collections::HashMap`'s default
+//! `RandomState`.
+//!
+//! Unlike `RandomState`, [`FxBuildHasher`] carries no per-process random
+//! seed: two runs hash identically. Iteration order over an
+//! [`FxHashMap`] is still insertion-history dependent, so the workspace
+//! determinism rule (no behavioural iteration over hash maps) applies
+//! unchanged.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using the Fx multiply-rotate hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx multiply-rotate hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Builds [`FxHasher`]s; deterministic (no per-process seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The odd constant from rustc's Fx hash: truncation of
+/// `2^64 / golden ratio`, which diffuses bits well under multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher.
+///
+/// Each input word is folded in as
+/// `hash = (hash.rotate_left(5) ^ word) * SEED`. All integer writes take
+/// the one-word fast path; byte slices are consumed in 8-byte chunks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fold the high bits into the low bits. A bare multiply leaves
+        // the low 32 bits of the product independent of the key's high
+        // 32 bits, and `hashbrown` takes the bucket index from the low
+        // bits — keys that differ only in their high half (block ids
+        // pack a file index at bit 32) would collide whole-file-wide.
+        self.hash ^ (self.hash >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.add_to_hash(i as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.add_to_hash(i as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.add_to_hash(i as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.add_to_hash(i as usize as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let a = hash_of(&1u64);
+        let b = hash_of(&2u64);
+        let c = hash_of(&3u64);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content_and_length() {
+        let h = |b: &[u8]| {
+            let mut s = FxHasher::default();
+            s.write(b);
+            s.finish()
+        };
+        assert_eq!(h(b"abcdefgh_tail"), h(b"abcdefgh_tail"));
+        assert_ne!(h(b"abc"), h(b"abcd"));
+        // A short slice and its zero-padded extension must differ (the
+        // length tag in the remainder word).
+        assert_ne!(h(b"ab"), h(b"ab\0"));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(7, 1);
+        m.insert(9, 2);
+        assert_eq!(m.get(&7), Some(&1));
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("x");
+        assert!(s.contains("x"));
+    }
+
+    #[test]
+    fn high_half_keys_spread_across_low_bits() {
+        // Keys differing only at bit 32 and above (file-set block ids)
+        // must still spread over the low hash bits that hashbrown uses
+        // for bucket selection.
+        let mut low_halves = std::collections::HashSet::new();
+        for file in 0..1_000u64 {
+            low_halves.insert(hash_of(&((file << 32) | 5)) & 0xffff_ffff);
+        }
+        assert!(
+            low_halves.len() >= 990,
+            "low 32 bits must depend on the high key half, got {} distinct",
+            low_halves.len()
+        );
+    }
+
+    #[test]
+    fn no_trivial_collisions_over_dense_range() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            seen.insert(hash_of(&i));
+        }
+        assert_eq!(seen.len(), 100_000, "dense u64 range must not collide");
+    }
+}
