@@ -1,0 +1,131 @@
+//! Allocation counting for the zero-allocation steady-state gate
+//! (DESIGN.md §5f).
+//!
+//! With the `alloc_stats` feature enabled this module installs a
+//! `#[global_allocator]` that wraps the system allocator and counts every
+//! allocation and reallocation on **the current thread**. Counters are
+//! thread-local so the parallel sweep engine and the multi-threaded test
+//! harness cannot pollute a measurement running on another thread.
+//!
+//! The measured quantity is *allocations started*, not bytes live:
+//! `dealloc` is free for the steady-state contract (returning memory to
+//! a pool costs nothing we gate on) and `realloc` counts once (it may
+//! move the block — the cost the contract forbids on the hot path).
+//!
+//! Usage: [`reset`] at a phase boundary, run the phase, then read
+//! [`snapshot`]. Without the feature the module still compiles and
+//! returns zeros so call sites need no `cfg` of their own.
+
+/// Allocation counters captured by [`snapshot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocations + reallocations on this thread since the last [`reset`].
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub bytes: u64,
+}
+
+#[cfg(feature = "alloc_stats")]
+mod imp {
+    use super::AllocSnapshot;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    std::thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+        static BYTES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// The counting wrapper around the system allocator.
+    ///
+    /// `try_with` (not `with`) everywhere: the allocator runs during
+    /// thread teardown after the thread-local has been destroyed, where
+    /// `with` would abort the process.
+    pub struct CountingAlloc;
+
+    // SAFETY: every method forwards verbatim to the `System` allocator
+    // after bumping thread-local counters, so `System` upholds the
+    // allocator contracts exactly as if it were installed directly.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: counts, then forwards the caller's layout unchanged.
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            let _ = BYTES.try_with(|c| c.set(c.get() + layout.size() as u64));
+            // SAFETY: same layout the caller handed us, forwarded once.
+            unsafe { System.alloc(layout) }
+        }
+
+        // SAFETY: passthrough; `ptr` was produced by `System` above.
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: `ptr` came from this allocator, which always
+            // forwards to `System`, so the pair matches.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        // SAFETY: counts, then forwards the caller's contract unchanged.
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            let _ = BYTES.try_with(|c| c.set(c.get() + new_size as u64));
+            // SAFETY: `ptr`/`layout` pair originated from `System` via
+            // this wrapper; `new_size` is the caller's contract.
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAlloc = CountingAlloc;
+
+    /// Zeroes this thread's counters.
+    pub fn reset() {
+        let _ = ALLOCS.try_with(|c| c.set(0));
+        let _ = BYTES.try_with(|c| c.set(0));
+    }
+
+    /// Reads this thread's counters.
+    pub fn snapshot() -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: ALLOCS.try_with(Cell::get).unwrap_or(0),
+            bytes: BYTES.try_with(Cell::get).unwrap_or(0),
+        }
+    }
+}
+
+/// Zeroes this thread's allocation counters (phase boundary).
+pub fn reset() {
+    #[cfg(feature = "alloc_stats")]
+    imp::reset();
+}
+
+/// This thread's allocation counters since the last [`reset`]. All-zero
+/// when the `alloc_stats` feature is off.
+pub fn snapshot() -> AllocSnapshot {
+    #[cfg(feature = "alloc_stats")]
+    return imp::snapshot();
+    #[cfg(not(feature = "alloc_stats"))]
+    AllocSnapshot::default()
+}
+
+/// Whether the counting allocator is installed in this build.
+pub fn enabled() -> bool {
+    cfg!(feature = "alloc_stats")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_without_feature_is_zero_or_counts_with_it() {
+        reset();
+        let before = snapshot();
+        let v: Vec<u64> = (0..1000).collect();
+        assert_eq!(v.len(), 1000);
+        let after = snapshot();
+        if enabled() {
+            assert!(after.allocs > before.allocs, "Vec growth must be counted");
+            assert!(after.bytes >= 8_000);
+        } else {
+            assert_eq!(after, AllocSnapshot::default());
+        }
+    }
+}

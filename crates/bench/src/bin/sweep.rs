@@ -65,7 +65,19 @@ fn run_bench(scale: Scale, json: Option<&str>, baseline: Option<&str>) -> bool {
         serde_json::to_writer_pretty(file, &report).expect("report serialises");
         eprintln!("wrote {path}");
     }
-    let Some(path) = baseline else { return true };
+    let mut ok = true;
+    if ulc_bench::alloc_stats::enabled() {
+        let alloc_failures = throughput::check_alloc_gate(&report);
+        if alloc_failures.is_empty() {
+            eprintln!("alloc gate: ok (steady state allocation-free)");
+        } else {
+            for f in &alloc_failures {
+                eprintln!("alloc gate FAILED: {f}");
+            }
+            ok = false;
+        }
+    }
+    let Some(path) = baseline else { return ok };
     let text = std::fs::read_to_string(path)
         // lint:allow(panic) CLI contract; the message needs the runtime path
         .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -74,13 +86,13 @@ fn run_bench(scale: Scale, json: Option<&str>, baseline: Option<&str>) -> bool {
     let failures = throughput::check_against_baseline(&report, &base, MAX_BENCH_REGRESSION);
     if failures.is_empty() {
         eprintln!("bench gate: ok ({} baseline rows)", base.rows.len());
-        true
     } else {
         for f in &failures {
             eprintln!("bench gate FAILED: {f}");
         }
-        false
+        ok = false;
     }
+    ok
 }
 
 fn main() {

@@ -22,6 +22,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod alloc_stats;
 pub mod degradation;
 pub mod fig2;
 pub mod fig3;

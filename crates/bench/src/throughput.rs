@@ -12,18 +12,27 @@
 //! The `sweep` binary writes the report to `BENCH_sim.json` via
 //! `--bench-json=` and gates regressions against a checked-in baseline
 //! via `--bench-baseline=` (see [`check_against_baseline`]).
+//!
+//! With the `alloc_stats` feature the harness additionally profiles heap
+//! allocations per access on the interned engine, split into a warmup
+//! phase (the first 90 % of the trace, where tables grow to their
+//! high-water marks) and a steady-state phase (the last 10 %, which the
+//! §5f zero-allocation contract requires to be allocation-free); see
+//! [`check_alloc_gate`].
 
-use crate::{row, Scale};
+use crate::{alloc_stats, row, Scale};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use ulc_core::{UlcConfig, UlcMultiConfig, UlcMulti, UlcSingle};
 use ulc_hierarchy::reference::MapReliablePlane;
-use ulc_hierarchy::{simulate, EvictionBased, MultiLevelPolicy, UniLru, UniLruVariant};
+use ulc_hierarchy::{
+    simulate, AccessOutcome, EvictionBased, MultiLevelPolicy, UniLru, UniLruVariant,
+};
 use ulc_trace::patterns::{LoopingPattern, Pattern};
 use ulc_trace::{synthetic, TableMode, Trace};
 
 /// One protocol × workload × trace-size measurement.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct ThroughputRow {
     /// Protocol name as used in the figures ("ULC", "uniLRU", …).
     pub protocol: String,
@@ -37,6 +46,42 @@ pub struct ThroughputRow {
     pub reference_aps: f64,
     /// `interned_aps / reference_aps`.
     pub speedup: f64,
+    /// Heap allocations per access on the interned engine during the
+    /// warmup phase (first 90 % of the trace). Zero when the report was
+    /// generated without the `alloc_stats` feature.
+    pub warmup_allocs_per_access: f64,
+    /// Heap allocations per access on the interned engine during the
+    /// steady-state phase (last 10 % of the trace). The §5f contract
+    /// requires exactly zero for the pooled ReliablePlane engines.
+    pub steady_allocs_per_access: f64,
+}
+
+// Hand-written so the allocation columns default to zero when a baseline
+// recorded before they existed is loaded (the vendored serde derive has
+// no `#[serde(default)]`).
+impl serde::Deserialize for ThroughputRow {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for ThroughputRow"))?;
+        let opt_f64 = |name: &str| match serde::get_field(fields, name) {
+            Ok(value) => serde::Deserialize::from_value(value),
+            Err(_) => Ok(0.0),
+        };
+        Ok(ThroughputRow {
+            protocol: serde::Deserialize::from_value(serde::get_field(fields, "protocol")?)?,
+            workload: serde::Deserialize::from_value(serde::get_field(fields, "workload")?)?,
+            refs: serde::Deserialize::from_value(serde::get_field(fields, "refs")?)?,
+            interned_aps: serde::Deserialize::from_value(serde::get_field(fields, "interned_aps")?)?,
+            reference_aps: serde::Deserialize::from_value(serde::get_field(
+                fields,
+                "reference_aps",
+            )?)?,
+            speedup: serde::Deserialize::from_value(serde::get_field(fields, "speedup")?)?,
+            warmup_allocs_per_access: opt_f64("warmup_allocs_per_access")?,
+            steady_allocs_per_access: opt_f64("steady_allocs_per_access")?,
+        })
+    }
 }
 
 /// The full throughput report, serialised to `BENCH_sim.json`.
@@ -97,6 +142,38 @@ fn best_aps<P: MultiLevelPolicy, F: Fn() -> P>(build: F, trace: &Trace) -> f64 {
     best
 }
 
+/// Profiles heap allocations per access on one engine, split at the 90 %
+/// mark into warmup (tables and pools growing to their high-water marks)
+/// and steady state (which the §5f contract requires allocation-free for
+/// the pooled engines). Returns `(warmup, steady)` allocations/access;
+/// `(0, 0)` without the `alloc_stats` feature.
+///
+/// The driver mirrors [`simulate`]'s pooled loop but phases the counters;
+/// it runs on the calling thread, which the thread-local counters isolate
+/// from any parallel sweep work.
+fn alloc_profile<P: MultiLevelPolicy>(mut policy: P, trace: &Trace) -> (f64, f64) {
+    if !alloc_stats::enabled() || trace.is_empty() {
+        return (0.0, 0.0);
+    }
+    let split = trace.len() * 9 / 10;
+    let mut outcome = AccessOutcome::miss(policy.num_levels().saturating_sub(1));
+    alloc_stats::reset();
+    for r in trace.iter().take(split) {
+        policy.access_into(r.client, r.block, &mut outcome);
+    }
+    let warm = alloc_stats::snapshot();
+    alloc_stats::reset();
+    for r in trace.iter().skip(split) {
+        policy.access_into(r.client, r.block, &mut outcome);
+    }
+    let steady = alloc_stats::snapshot();
+    std::hint::black_box(&outcome);
+    (
+        warm.allocs as f64 / split.max(1) as f64,
+        steady.allocs as f64 / (trace.len() - split).max(1) as f64,
+    )
+}
+
 /// Measures one cell: the interned engine against its map-backed twin.
 fn measure<D, H, FD, FH>(
     protocol: &str,
@@ -111,8 +188,9 @@ where
     FD: Fn() -> D,
     FH: Fn() -> H,
 {
-    let interned_aps = best_aps(dense, trace);
-    let reference_aps = best_aps(hashed, trace);
+    let interned_aps = best_aps(&dense, trace);
+    let reference_aps = best_aps(&hashed, trace);
+    let (warmup_allocs_per_access, steady_allocs_per_access) = alloc_profile(dense(), trace);
     ThroughputRow {
         protocol: protocol.to_string(),
         workload: workload.to_string(),
@@ -120,6 +198,8 @@ where
         interned_aps,
         reference_aps,
         speedup: interned_aps / reference_aps.max(1e-9),
+        warmup_allocs_per_access,
+        steady_allocs_per_access,
     }
 }
 
@@ -238,6 +318,8 @@ pub fn render(report: &ThroughputReport) -> String {
             "interned".into(),
             "reference".into(),
             "speedup".into(),
+            "w-allocs/a".into(),
+            "s-allocs/a".into(),
         ],
     ));
     s.push('\n');
@@ -250,11 +332,40 @@ pub fn render(report: &ThroughputReport) -> String {
                 fmt_aps(r.interned_aps),
                 fmt_aps(r.reference_aps),
                 format!("{:.2}x", r.speedup),
+                format!("{:.4}", r.warmup_allocs_per_access),
+                format!("{:.4}", r.steady_allocs_per_access),
             ],
         ));
         s.push('\n');
     }
     s
+}
+
+/// Protocols whose steady-state path must be allocation-free: the pooled
+/// engines running over the default `ReliablePlane`. (`ULC-multi` keeps
+/// per-access plane traffic whose queues may still grow late in a
+/// multi-client trace, so it is reported but not gated.)
+const ALLOC_GATED_PROTOCOLS: [&str; 3] = ["ULC", "uniLRU", "evict-reload"];
+
+/// Enforces the §5f zero-allocation steady-state contract on a report
+/// generated with the `alloc_stats` feature: every gated protocol's
+/// steady-state allocations/access must be exactly zero. Returns the
+/// violations, empty on success. A report generated without the feature
+/// (all counters zero) passes vacuously — pair this with
+/// [`crate::alloc_stats::enabled`] when gating in CI.
+pub fn check_alloc_gate(report: &ThroughputReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in &report.rows {
+        if ALLOC_GATED_PROTOCOLS.contains(&r.protocol.as_str())
+            && r.steady_allocs_per_access > 0.0
+        {
+            failures.push(format!(
+                "{}/{}/{}: {:.6} steady-state allocations/access (contract: 0)",
+                r.protocol, r.workload, r.refs, r.steady_allocs_per_access
+            ));
+        }
+    }
+    failures
 }
 
 /// Compares `current` against a checked-in `baseline`: every row present
@@ -321,6 +432,8 @@ mod tests {
             interned_aps: aps,
             reference_aps: aps / 2.0,
             speedup: 2.0,
+            warmup_allocs_per_access: 0.0,
+            steady_allocs_per_access: 0.0,
         }
     }
 
@@ -356,6 +469,29 @@ mod tests {
         cur.rows[0].refs = 999;
         let fails = check_against_baseline(&cur, &base, 0.25);
         assert!(fails.iter().any(|f| f.contains("no baseline row")));
+    }
+
+    #[test]
+    fn alloc_gate_flags_gated_protocols_only() {
+        let mut gated = r("ULC", 1000.0);
+        gated.steady_allocs_per_access = 0.5;
+        let mut multi = r("ULC-multi", 1000.0);
+        multi.steady_allocs_per_access = 0.5;
+        let rep = report(vec![gated, multi]);
+        let fails = check_alloc_gate(&rep);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("ULC/loop-100k"));
+    }
+
+    #[test]
+    fn baseline_without_alloc_columns_deserialises() {
+        // Pre-§5f baselines lack the allocation columns; they must load
+        // with zero defaults so the throughput gate keeps working.
+        let text = r#"{"scale":"smoke","rows":[{"protocol":"ULC","workload":"loop-100k",
+            "refs":1000,"interned_aps":1.0,"reference_aps":0.5,"speedup":2.0}]}"#;
+        let rep: ThroughputReport = serde_json::from_str(text).expect("old-format baseline");
+        assert_eq!(rep.rows[0].steady_allocs_per_access, 0.0);
+        assert_eq!(rep.rows[0].warmup_allocs_per_access, 0.0);
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Direct unit-level check of the zero-allocation steady-state contract
+//! (DESIGN.md §5f), compiled only with the `alloc_stats` feature so the
+//! counting global allocator is installed:
+//!
+//! ```text
+//! cargo test -p ulc-bench --features alloc_stats --test alloc_gate
+//! ```
+//!
+//! Each engine is warmed until every pooled buffer's high-water mark has
+//! settled, then driven for a measured phase between [`reset`] and
+//! [`snapshot`] — which must count **zero** allocations on this thread.
+
+#![cfg(feature = "alloc_stats")]
+
+use ulc_bench::alloc_stats::{reset, snapshot};
+use ulc_core::{UlcConfig, UlcSingle};
+use ulc_hierarchy::{AccessOutcome, EvictionBased, MultiLevelPolicy, UniLru, UniLruVariant};
+use ulc_trace::patterns::{LoopingPattern, Pattern};
+use ulc_trace::Trace;
+
+/// Warms `policy` over the whole trace once, then replays the last tenth
+/// with counters armed and returns the allocation count.
+fn steady_allocs<P: MultiLevelPolicy>(mut policy: P, trace: &Trace) -> u64 {
+    let mut out = AccessOutcome::miss(policy.num_levels().saturating_sub(1));
+    for r in trace.iter() {
+        policy.access_into(r.client, r.block, &mut out);
+    }
+    let tail = trace.len() - trace.len() / 10;
+    reset();
+    for r in trace.iter().skip(tail) {
+        policy.access_into(r.client, r.block, &mut out);
+    }
+    let snap = snapshot();
+    std::hint::black_box(&out);
+    snap.allocs
+}
+
+#[test]
+fn settled_engines_do_not_allocate_per_access() {
+    let trace = LoopingPattern::new(900).generate(60_000);
+    let ulc = UlcSingle::new(UlcConfig::new(vec![400, 400, 400]));
+    assert_eq!(steady_allocs(ulc, &trace), 0, "ULC steady state allocated");
+
+    let uni = UniLru::multi_client(vec![400], vec![400, 400], UniLruVariant::MruInsert);
+    assert_eq!(steady_allocs(uni, &trace), 0, "uniLRU steady state allocated");
+
+    let evict = EvictionBased::new(vec![400], 800, 7);
+    assert_eq!(
+        steady_allocs(evict, &trace),
+        0,
+        "evict-reload steady state allocated"
+    );
+}

@@ -26,6 +26,19 @@ impl fmt::Debug for NodeHandle {
     }
 }
 
+impl Default for NodeHandle {
+    /// A sentinel handle that never refers to a live node — every lookup
+    /// through it misses. Exists so handles can fill inline scratch
+    /// buffers (`SmallVec` placeholder slots) without inventing a fake
+    /// live reference.
+    fn default() -> Self {
+        NodeHandle {
+            index: NIL,
+            generation: u32::MAX,
+        }
+    }
+}
+
 const NIL: u32 = u32::MAX;
 
 #[derive(Clone, Debug)]

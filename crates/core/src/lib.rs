@@ -65,9 +65,11 @@
 
 mod multi;
 pub mod reference;
+pub mod scratch;
 mod single;
 mod stack;
 
 pub use multi::{ClaimRule, UlcMulti, UlcMultiConfig};
+pub use scratch::AccessScratch;
 pub use single::{MessageStats, UlcConfig, UlcSingle};
-pub use stack::{Placement, StackOutcome, UniLruStack};
+pub use stack::{Placement, StackAccess, StackOutcome, UniLruStack};

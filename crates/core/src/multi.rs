@@ -40,9 +40,10 @@
 //! repair. A server crash-and-cold-restart marks every client dirty so
 //! each rebuilds its status table on its next access.
 
+use crate::scratch::AccessScratch;
 use crate::stack::{Placement, UniLruStack};
 use ulc_cache::LruStack;
-use ulc_hierarchy::plane::{Direction, Message, MessagePlane, ReliablePlane, RpcFate};
+use ulc_hierarchy::plane::{DeliveryBatch, Direction, Message, MessagePlane, ReliablePlane, RpcFate};
 use ulc_hierarchy::{AccessOutcome, FaultSummary, MultiLevelPolicy};
 use ulc_trace::{BlockId, BlockMap, ClientId, TableMode};
 
@@ -210,6 +211,14 @@ pub struct UlcMulti<P: MessagePlane = ReliablePlane> {
     /// Protocol-side recovery counters (the plane keeps the transport
     /// counters itself).
     recovery: FaultSummary,
+    /// Reusable per-access buffers: the client stack's scratch, the two
+    /// delivery batches (server inbox, per-client notices) and the crash
+    /// buffer. Once their high-water marks settle the steady-state access
+    /// path performs no heap allocation (DESIGN.md §5f).
+    scratch: AccessScratch,
+    inbox: DeliveryBatch,
+    notices: DeliveryBatch,
+    crash_buf: Vec<usize>,
     #[cfg(feature = "debug_invariants")]
     tick: u64,
 }
@@ -260,6 +269,10 @@ impl UlcMulti {
             table_mode: mode,
             plane: ReliablePlane::new(),
             recovery: FaultSummary::default(),
+            scratch: AccessScratch::new(),
+            inbox: DeliveryBatch::new(),
+            notices: DeliveryBatch::new(),
+            crash_buf: Vec::new(),
             #[cfg(feature = "debug_invariants")]
             tick: 0,
         }
@@ -278,6 +291,10 @@ impl<P: MessagePlane> UlcMulti<P> {
             table_mode: self.table_mode,
             plane,
             recovery: self.recovery,
+            scratch: self.scratch,
+            inbox: self.inbox,
+            notices: self.notices,
+            crash_buf: self.crash_buf,
             #[cfg(feature = "debug_invariants")]
             tick: self.tick,
         }
@@ -438,9 +455,15 @@ impl<P: MessagePlane> UlcMulti<P> {
     }
 
     /// Drains every client's directive queue into the server.
+    ///
+    /// The delivery batch is pooled on the protocol and taken out for the
+    /// duration of the drain (applying a directive needs `&mut self`), so
+    /// the steady-state drain recycles one buffer across all accesses.
     fn drain_server_inbox(&mut self) {
+        let mut inbox = std::mem::take(&mut self.inbox);
         for link in 0..self.clients.len() {
-            for msg in self.plane.deliver(link, Direction::Down) {
+            self.plane.deliver_into(link, Direction::Down, &mut inbox);
+            for &msg in &inbox {
                 match msg {
                     Message::CacheRequest { block, requester } => {
                         self.apply_directive(block, requester);
@@ -453,13 +476,16 @@ impl<P: MessagePlane> UlcMulti<P> {
                 }
             }
         }
+        self.inbox = inbox;
     }
 
     /// Delivers the eviction notices riding client `c`'s response.
     /// A notice is stale — and skipped — if the client has meanwhile
     /// re-claimed the block (it owns it again).
     fn deliver_notices(&mut self, c: usize) {
-        for msg in self.plane.deliver(c, Direction::Up) {
+        let mut notices = std::mem::take(&mut self.notices);
+        self.plane.deliver_into(c, Direction::Up, &mut notices);
+        for &msg in &notices {
             if let Message::EvictNotice { block: victim } = msg {
                 if self.server.owner_of(victim) == Some(c as u32) {
                     continue;
@@ -467,13 +493,16 @@ impl<P: MessagePlane> UlcMulti<P> {
                 Self::apply_replacement(&mut self.clients[c], victim);
             }
         }
+        self.notices = notices;
     }
 
     /// Wipes crashed levels. A server cold restart marks every client's
     /// status table dirty: each rebuilds it via [`UlcMulti::reconcile_client`]
     /// before its next access is served.
     fn apply_crashes(&mut self) {
-        for level in self.plane.take_crashes() {
+        let mut crashes = std::mem::take(&mut self.crash_buf);
+        self.plane.take_crashes_into(&mut crashes);
+        for &level in &crashes {
             if level == 0 {
                 for (i, cs) in self.clients.iter_mut().enumerate() {
                     cs.stack = UniLruStack::new_with_mode(
@@ -494,6 +523,7 @@ impl<P: MessagePlane> UlcMulti<P> {
                 }
             }
         }
+        self.crash_buf = crashes;
     }
 
     /// One status-table reconciliation round for client `c`: the re-sync
@@ -579,8 +609,17 @@ impl<P: MessagePlane> UlcMulti<P> {
 
 impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; the
+        // allocation-free path is access_into.
+        let mut out = AccessOutcome::miss(1);
+        self.access_into(client, block, &mut out);
+        out
+    }
+
+    fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
+        out.reset(1);
         self.plane.tick();
         self.apply_crashes();
         // Directives from any client that became due reach the server
@@ -638,10 +677,10 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
                 .stack
                 .set_external_full(1, self.server.is_full());
         }
-        let out = self.clients[c].stack.access(block);
+        let res = self.clients[c].stack.access_into(block, &mut self.scratch);
 
         // 5. Direct the server accordingly.
-        match out.placed {
+        match res.placed {
             Placement::Level(0)
                 // Retrieve(b, ·, 1): promotion into the private cache.
                 // A block this client owns leaves the server (exclusive
@@ -672,8 +711,8 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
             _ => {}
         }
         // Demote(b, 1, 2) instructions from the client's cascade.
-        for i in 0..out.demoted.len() {
-            let (demoted, _, to) = out.demoted[i];
+        for i in 0..self.scratch.demoted.len() {
+            let (demoted, _, to) = self.scratch.demoted[i];
             if to == 1 {
                 self.plane.send(
                     c,
@@ -692,10 +731,8 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
         #[cfg(feature = "debug_invariants")]
         self.debug_validate();
 
-        AccessOutcome {
-            hit_level,
-            demotions: out.demotions,
-        }
+        out.hit_level = hit_level;
+        out.demotions.copy_from_slice(self.scratch.demotions.as_slice());
     }
 
     fn num_levels(&self) -> usize {

@@ -6,6 +6,7 @@
 //! to the application when their caching level is below `L₁`), and counts
 //! the protocol messages (`Retrieve`, `Demote`) that §3.2 defines.
 
+use crate::scratch::AccessScratch;
 use crate::stack::{Placement, UniLruStack};
 use ulc_cache::LruStack;
 use ulc_hierarchy::{AccessOutcome, MultiLevelPolicy};
@@ -86,6 +87,9 @@ pub struct UlcSingle {
     temp_lru: LruStack<BlockId>,
     config: UlcConfig,
     messages: MessageStats,
+    /// Reusable per-access buffers; once their high-water marks settle the
+    /// steady-state access path performs no heap allocation (DESIGN.md §5f).
+    scratch: AccessScratch,
 }
 
 impl UlcSingle {
@@ -115,6 +119,7 @@ impl UlcSingle {
             temp_lru: LruStack::new(),
             config,
             messages: MessageStats::new(levels),
+            scratch: AccessScratch::new(),
         }
     }
 
@@ -153,35 +158,42 @@ impl UlcSingle {
 
 impl MultiLevelPolicy for UlcSingle {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; the
+        // allocation-free path is access_into.
+        let mut out = AccessOutcome::miss(self.stack.num_levels() - 1);
+        self.access_into(client, block, &mut out);
+        out
+    }
+
+    fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
         assert_eq!(
             client,
             ClientId::SINGLE,
             "single-client protocol serves exactly one client"
         );
+        out.reset(self.stack.num_levels() - 1);
         if self.config.count_temp_lru_hits && self.temp_lru.contains(&block) {
             // Ablation mode: the block is still in client memory.
             self.temp_lru.touch(block);
-            let mut outcome = AccessOutcome::hit(0, self.stack.num_levels() - 1);
             // The stack still observes the reference for its history.
-            let stack_out = self.stack.access(block);
-            outcome.demotions = stack_out.demotions.clone();
-            self.note_temp_lru(block, stack_out.placed);
-            return outcome;
+            let res = self.stack.access_into(block, &mut self.scratch);
+            out.hit_level = Some(0);
+            out.demotions.copy_from_slice(self.scratch.demotions.as_slice());
+            self.note_temp_lru(block, res.placed);
+            return;
         }
-        let out = self.stack.access(block);
-        let source = match out.found {
+        let res = self.stack.access_into(block, &mut self.scratch);
+        let source = match res.found {
             Placement::Level(i) => i,
             Placement::Uncached => self.stack.num_levels(), // disk
         };
         self.messages.retrieves_by_source[source] += 1;
-        for (b, &d) in out.demotions.iter().enumerate() {
+        for (b, &d) in self.scratch.demotions.iter().enumerate() {
             self.messages.demotes_by_boundary[b] += d as u64;
         }
-        self.note_temp_lru(block, out.placed);
-        AccessOutcome {
-            hit_level: out.found.level(),
-            demotions: out.demotions,
-        }
+        self.note_temp_lru(block, res.placed);
+        out.hit_level = res.found.level();
+        out.demotions.copy_from_slice(self.scratch.demotions.as_slice());
     }
 
     fn num_levels(&self) -> usize {

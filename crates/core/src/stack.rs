@@ -32,6 +32,7 @@
 //! trimmed (§3.2: the stack size is bounded by `Yₙ`; §5: cold entries can
 //! be trimmed to bound metadata).
 
+use crate::scratch::AccessScratch;
 use ulc_cache::{LinkedSlab, NodeHandle};
 use ulc_trace::{BlockId, BlockMap, TableMode};
 
@@ -62,6 +63,22 @@ struct Entry {
     block: BlockId,
     level: u8,
     stamp: u64,
+}
+
+/// The fixed-size part of an access result: where the block was found
+/// and where it was placed. [`UniLruStack::access_into`] returns this by
+/// value; the variable-length side effects (demotions, evictions) land in
+/// the caller's [`AccessScratch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StackAccess {
+    /// Where the block was found: its retrieval source. `Uncached` means
+    /// the block was read from disk (either absent from the stack or
+    /// resident only as history).
+    pub found: Placement,
+    /// Whether the block had stack history (metadata present).
+    pub was_in_stack: bool,
+    /// Where the block was placed by this access.
+    pub placed: Placement,
 }
 
 /// What one [`UniLruStack::access`] did.
@@ -304,18 +321,18 @@ impl UniLruStack {
     /// there, and a block that falls all the way out is simply discarded —
     /// the directing client knows the whole chain in advance (§3.2.1), so
     /// it never ships a block that has nowhere to stay.
-    fn cascade(&mut self, start: usize, outcome: &mut StackOutcome) {
+    fn cascade(&mut self, start: usize, scratch: &mut AccessScratch) {
         let n = self.num_levels();
-        // (handle, level it was first demoted from); cascades are at most
-        // `n` long, so a Vec scan is fine.
-        let mut moved: Vec<(NodeHandle, usize)> = Vec::new();
+        // `scratch.moved` holds (handle, level it was first demoted from);
+        // cascades are at most `n` long, so a linear dedup scan is fine.
+        scratch.moved.clear();
         let mut lvl = start;
         while lvl < n && self.counts[lvl] > self.capacities[lvl] {
             let victim = self.yardsticks[lvl].expect("over-full level has a yardstick");
             self.adjust_yardstick_up(lvl, victim, false);
             self.counts[lvl] -= 1;
-            if !moved.iter().any(|&(h, _)| h == victim) {
-                moved.push((victim, lvl));
+            if !scratch.moved.iter().any(|&(h, _)| h == victim) {
+                scratch.moved.push((victim, lvl));
             }
             if lvl + 1 < n {
                 self.list
@@ -334,15 +351,17 @@ impl UniLruStack {
                 break;
             }
         }
-        for (h, from) in moved {
+        for k in 0..scratch.moved.len() {
+            let (h, from) = scratch.moved[k];
             let e = self.entry(h);
-            if e.level == OUT {
-                outcome.evicted.push(e.block);
+            let (block, level) = (e.block, e.level);
+            if level == OUT {
+                scratch.evicted.push(block);
             } else {
-                for m in from..e.level as usize {
-                    outcome.demotions[m] += 1;
+                for m in from..level as usize {
+                    scratch.demotions[m] += 1;
                 }
-                outcome.demoted.push((e.block, from, e.level as usize));
+                scratch.demoted.push((block, from, level as usize));
             }
         }
     }
@@ -387,15 +406,39 @@ impl UniLruStack {
     }
 
     /// Handles one reference to `block` — the complete §3.2.1 algorithm.
+    ///
+    /// By-value compatibility wrapper over [`UniLruStack::access_into`]:
+    /// builds a fresh [`StackOutcome`] per call. Steady-state hot paths
+    /// should own an [`AccessScratch`] and call `access_into` instead.
     pub fn access(&mut self, block: BlockId) -> StackOutcome {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into
+        let mut scratch = AccessScratch::new();
+        let res = self.access_into(block, &mut scratch);
+        StackOutcome {
+            found: res.found,
+            was_in_stack: res.was_in_stack,
+            placed: res.placed,
+            // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into
+            demotions: scratch.demotions.to_vec(),
+            // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into
+            demoted: scratch.demoted.to_vec(),
+            // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into
+            evicted: scratch.evicted.to_vec(),
+        }
+    }
+
+    /// Handles one reference to `block`, writing the variable-length side
+    /// effects (demotion counters, demoted blocks, evictions) into the
+    /// caller-owned `scratch` instead of allocating. The scratch is reset
+    /// first, so reuse across accesses — even dirty from another stack —
+    /// is always equivalent to passing a fresh one.
+    pub fn access_into(&mut self, block: BlockId, scratch: &mut AccessScratch) -> StackAccess {
         let n = self.num_levels();
-        let mut outcome = StackOutcome {
+        scratch.reset(n - 1);
+        let mut outcome = StackAccess {
             found: Placement::Uncached,
             was_in_stack: false,
             placed: Placement::Uncached,
-            demotions: vec![0; n - 1],
-            demoted: Vec::new(),
-            evicted: Vec::new(),
         };
 
         if let Some(&h) = self.map.get(block) {
@@ -431,7 +474,7 @@ impl UniLruStack {
                         self.yardsticks[i] = None;
                     }
                     self.maybe_take_yardstick(j, h);
-                    self.cascade(j, &mut outcome);
+                    self.cascade(j, scratch);
                     outcome.placed = Placement::Level(j);
                 } else {
                     // Retrieve(b, i, i): stays at its level.
@@ -447,7 +490,7 @@ impl UniLruStack {
                         self.list.get_mut(h).expect("handle is live").level = j as u8;
                         self.counts[j] += 1;
                         self.maybe_take_yardstick(j, h);
-                        self.cascade(j, &mut outcome);
+                        self.cascade(j, scratch);
                         outcome.placed = Placement::Level(j);
                     }
                     Placement::Uncached => {

@@ -1,0 +1,261 @@
+//! Differential oracle suite for the zero-allocation scratch rework.
+//!
+//! Every protocol with a pooled `access_into` path is run twice over
+//! every workload: once through the by-value [`MultiLevelPolicy::access`]
+//! wrapper (the reference semantics, fresh buffers per call) and once
+//! through `access_into` with a **single reused outcome that starts
+//! dirty** — stale hit level, junk demotion counters sized for a
+//! different hierarchy. The two runs must produce bit-identical full
+//! [`SimStats`] — hit counts per level, per-boundary demotion counts,
+//! misses, and every fault-summary counter. This is the proof that the
+//! scratch/pool rework (DESIGN.md §5f) changed where buffers live, not
+//! what any access computes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ulc_core::{AccessScratch, UlcConfig, UlcMulti, UlcMultiConfig, UlcSingle, UniLruStack};
+use ulc_hierarchy::plane::{FaultScenario, FaultyPlane};
+use ulc_hierarchy::{
+    AccessOutcome, EvictionBased, IndLru, LruMqServer, MultiLevelPolicy, SimStats, UniLru,
+    UniLruVariant,
+};
+use ulc_trace::{synthetic, BlockId, Trace};
+
+/// The single-client workloads of the §2.2/§4.3 studies, at smoke scale.
+fn single_client_workloads() -> Vec<(&'static str, Trace)> {
+    synthetic::small_suite(20_000)
+}
+
+/// Drives `policy` through the by-value `access()` wrapper — the
+/// reference semantics with fresh buffers per reference.
+fn simulate_by_value<P: MultiLevelPolicy>(policy: &mut P, trace: &Trace, warmup: usize) -> SimStats {
+    let mut stats = SimStats::new(policy.num_levels());
+    for (i, r) in trace.iter().enumerate() {
+        let out = policy.access(r.client, r.block);
+        if i >= warmup {
+            stats.record(&out);
+        }
+    }
+    stats.faults = policy.fault_summary();
+    stats
+}
+
+/// Drives `policy` through `access_into` with one pooled outcome that is
+/// deliberately dirty at the start (stale hit level, garbage counters
+/// sized for a nine-boundary hierarchy) and reused across every
+/// reference — the steady-state hot path. The per-access reset contract
+/// must make the dirt invisible.
+fn simulate_pooled_dirty<P: MultiLevelPolicy>(
+    policy: &mut P,
+    trace: &Trace,
+    warmup: usize,
+) -> SimStats {
+    let mut stats = SimStats::new(policy.num_levels());
+    let mut out = AccessOutcome::hit(3, 9);
+    for d in out.demotions.iter_mut() {
+        *d = 0xDEAD;
+    }
+    for (i, r) in trace.iter().enumerate() {
+        policy.access_into(r.client, r.block, &mut out);
+        if i >= warmup {
+            stats.record(&out);
+        }
+    }
+    stats.faults = policy.fault_summary();
+    stats
+}
+
+/// Runs two fresh instances of the same configuration, one per driver,
+/// and asserts the full `SimStats` structs are bit-identical.
+fn assert_identical<P: MultiLevelPolicy>(name: &str, trace: &Trace, mut by_value: P, mut pooled: P) {
+    let warmup = trace.warmup_len();
+    let sv = simulate_by_value(&mut by_value, trace, warmup);
+    let sp = simulate_pooled_dirty(&mut pooled, trace, warmup);
+    assert_eq!(sv, sp, "{name}: by-value vs pooled stats diverged");
+    assert_eq!(
+        sv.total_hit_rate().to_bits(),
+        sp.total_hit_rate().to_bits(),
+        "{name}: hit rate diverged"
+    );
+}
+
+#[test]
+fn ulc_single_pooled_path_matches_by_value() {
+    for (name, trace) in single_client_workloads() {
+        assert_identical(
+            &format!("ULC-single/{name}"),
+            &trace,
+            UlcSingle::new(UlcConfig::new(vec![400, 400, 400])),
+            UlcSingle::new(UlcConfig::new(vec![400, 400, 400])),
+        );
+    }
+}
+
+#[test]
+fn uni_lru_variants_pooled_path_matches_by_value() {
+    for (name, trace) in single_client_workloads() {
+        for variant in [
+            UniLruVariant::MruInsert,
+            UniLruVariant::LruInsert,
+            UniLruVariant::Adaptive,
+        ] {
+            assert_identical(
+                &format!("uniLRU/{variant:?}/{name}"),
+                &trace,
+                UniLru::multi_client(vec![400], vec![400, 400], variant),
+                UniLru::multi_client(vec![400], vec![400, 400], variant),
+            );
+        }
+    }
+}
+
+#[test]
+fn ind_lru_pooled_path_matches_by_value() {
+    for (name, trace) in single_client_workloads() {
+        assert_identical(
+            &format!("indLRU/{name}"),
+            &trace,
+            IndLru::single_client(vec![400, 400, 400]),
+            IndLru::single_client(vec![400, 400, 400]),
+        );
+    }
+}
+
+#[test]
+fn eviction_based_pooled_path_matches_by_value() {
+    for (name, trace) in single_client_workloads() {
+        for latency in [0u64, 7] {
+            assert_identical(
+                &format!("evict-reload/{latency}/{name}"),
+                &trace,
+                EvictionBased::new(vec![400], 800, latency),
+                EvictionBased::new(vec![400], 800, latency),
+            );
+        }
+    }
+}
+
+#[test]
+fn mq_server_pooled_path_matches_by_value() {
+    for (name, trace) in single_client_workloads() {
+        assert_identical(
+            &format!("LRU+MQ/{name}"),
+            &trace,
+            LruMqServer::new(vec![400], 800),
+            LruMqServer::new(vec![400], 800),
+        );
+    }
+}
+
+#[test]
+fn ulc_multi_pooled_path_matches_by_value() {
+    let workloads: Vec<(&str, Trace, usize)> = vec![
+        ("httpd", synthetic::httpd_multi(30_000), 7),
+        ("openmail", synthetic::openmail(30_000, 24_000), 6),
+        ("db2", synthetic::db2_multi(30_000, 16_000), 8),
+    ];
+    for (name, trace, clients) in workloads {
+        let config = UlcMultiConfig::uniform(clients, 256, 2048);
+        assert_identical(
+            &format!("ULC/{name}"),
+            &trace,
+            UlcMulti::new(config.clone()),
+            UlcMulti::new(config),
+        );
+    }
+}
+
+#[test]
+fn faulty_plane_pooled_path_matches_by_value() {
+    // Under an actively faulty plane the RNG stream (drops, duplicates,
+    // delays, a crash) is a pure function of the scenario, independent
+    // of which buffer the caller hands in — so the pooled `deliver_into`
+    // and `take_crashes_into` paths must replay the exact fate sequence
+    // of the by-value wrappers, recovery counters included.
+    let scenario = FaultScenario::mild(97).with_crash(15_000, 1);
+
+    let tm = synthetic::httpd_multi(30_000);
+    assert_identical(
+        "ULC/faulty/httpd",
+        &tm,
+        UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048))
+            .with_plane(FaultyPlane::new(scenario.clone())),
+        UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048))
+            .with_plane(FaultyPlane::new(scenario.clone())),
+    );
+
+    let t = synthetic::cs(30_000);
+    assert_identical(
+        "uniLRU/faulty/cs",
+        &t,
+        UniLru::single_client(vec![500, 500, 500]).with_plane(FaultyPlane::new(scenario.clone())),
+        UniLru::single_client(vec![500, 500, 500]).with_plane(FaultyPlane::new(scenario)),
+    );
+}
+
+#[test]
+fn dirty_scratch_on_the_raw_stack_is_equivalent_to_fresh() {
+    // Drive one uniLRUstack with `access()` (fresh buffers) and a twin
+    // with `access_into` over a scratch that was first dirtied on a
+    // *different* stack shape, then reused without clearing. Every
+    // side-effect list must match reference for reference.
+    let caps = vec![40usize, 40, 40];
+    let mut fresh = UniLruStack::new(caps.clone());
+    let mut pooled = UniLruStack::new(caps);
+
+    let mut scratch = AccessScratch::new();
+    let mut other = UniLruStack::new(vec![3, 2, 4, 2]);
+    for i in 0..200u64 {
+        let _ = other.access_into(BlockId::new(i % 9), &mut scratch);
+    }
+
+    for i in 0..5_000u64 {
+        let blk = BlockId::new((i * 37) % 150);
+        let f = fresh.access(blk);
+        let p = pooled.access_into(blk, &mut scratch);
+        assert_eq!(f.found, p.found, "step {i}: found diverged");
+        assert_eq!(f.was_in_stack, p.was_in_stack, "step {i}");
+        assert_eq!(f.placed, p.placed, "step {i}: placement diverged");
+        assert_eq!(
+            f.demotions.as_slice(),
+            scratch.demotions.as_slice(),
+            "step {i}: demotion counters diverged"
+        );
+        assert_eq!(
+            f.demoted.as_slice(),
+            scratch.demoted.as_slice(),
+            "step {i}: demoted blocks diverged"
+        );
+        assert_eq!(
+            f.evicted.as_slice(),
+            scratch.evicted.as_slice(),
+            "step {i}: evictions diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random hierarchy shapes × random reference streams: the pooled
+    /// path over a continuously-reused dirty scratch makes exactly the
+    /// decisions of the by-value path.
+    #[test]
+    fn pooled_stack_equals_by_value_on_random_traces(
+        caps in vec(1usize..6, 1..5),
+        blocks in vec(0u64..24, 1..250),
+    ) {
+        let mut fresh = UniLruStack::new(caps.clone());
+        let mut pooled = UniLruStack::new(caps);
+        let mut scratch = AccessScratch::new();
+        for (step, &blk) in blocks.iter().enumerate() {
+            let f = fresh.access(BlockId::new(blk));
+            let p = pooled.access_into(BlockId::new(blk), &mut scratch);
+            prop_assert_eq!(f.found, p.found, "step {}", step);
+            prop_assert_eq!(f.placed, p.placed, "step {}", step);
+            prop_assert_eq!(f.demotions.as_slice(), scratch.demotions.as_slice(), "step {}", step);
+            prop_assert_eq!(f.demoted.as_slice(), scratch.demoted.as_slice(), "step {}", step);
+            prop_assert_eq!(f.evicted.as_slice(), scratch.evicted.as_slice(), "step {}", step);
+        }
+    }
+}

@@ -74,11 +74,19 @@ impl<P: MultiLevelPolicy> DemotionBuffer<P> {
 
 impl<P: MultiLevelPolicy> MultiLevelPolicy for DemotionBuffer<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; the
+        // allocation-free path is access_into.
+        let mut out = AccessOutcome::miss(self.num_levels().saturating_sub(1));
+        self.access_into(client, block, &mut out);
+        out
+    }
+
+    fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
         for q in &mut self.queues {
             *q = (*q - self.drain_per_ref).max(0.0);
         }
-        let mut outcome = self.inner.access(client, block);
-        for (b, d) in outcome.demotions.iter_mut().enumerate() {
+        self.inner.access_into(client, block, out);
+        for (b, d) in out.demotions.iter_mut().enumerate() {
             let mut kept = 0u32;
             for _ in 0..*d {
                 if self.queues[b] + 1.0 <= self.buffer_capacity {
@@ -95,7 +103,6 @@ impl<P: MultiLevelPolicy> MultiLevelPolicy for DemotionBuffer<P> {
                 "boundary {b} queue exceeds its configured bound"
             );
         }
-        outcome
     }
 
     fn num_levels(&self) -> usize {

@@ -18,7 +18,7 @@
 //! fetch (the block is re-read from disk on its next reference), and a
 //! duplicated order degrades to a refresh of the pending entry.
 
-use crate::plane::{Direction, Message, MessagePlane, ReliablePlane, RpcFate};
+use crate::plane::{DeliveryBatch, Direction, Message, MessagePlane, ReliablePlane, RpcFate};
 use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
 use std::collections::VecDeque;
@@ -42,6 +42,10 @@ pub struct EvictionBased<P: MessagePlane = ReliablePlane> {
     reloads: u64,
     window_misses: u64,
     plane: P,
+    /// Pooled delivery and crash buffers, recycled across accesses so the
+    /// steady-state order drain performs no heap allocation (DESIGN.md §5f).
+    batch: DeliveryBatch,
+    crash_buf: Vec<usize>,
 }
 
 impl EvictionBased {
@@ -92,6 +96,8 @@ impl EvictionBased {
             reloads: 0,
             window_misses: 0,
             plane: ReliablePlane::new(),
+            batch: DeliveryBatch::new(),
+            crash_buf: Vec::new(),
         }
     }
 }
@@ -109,6 +115,8 @@ impl<P: MessagePlane> EvictionBased<P> {
             reloads: self.reloads,
             window_misses: self.window_misses,
             plane,
+            batch: self.batch,
+            crash_buf: self.crash_buf,
         }
     }
 
@@ -141,19 +149,24 @@ impl<P: MessagePlane> EvictionBased<P> {
     /// duplicated order refreshes the pending entry; its stale `order`
     /// row is skipped by `drain_pending`'s cancelled-check.
     fn apply_reload_orders(&mut self) {
-        for msg in self.plane.deliver(0, Direction::Down) {
+        let mut batch = std::mem::take(&mut self.batch);
+        self.plane.deliver_into(0, Direction::Down, &mut batch);
+        for &msg in &batch {
             if let Message::Reload { block } = msg {
                 self.reloads += 1;
                 self.pending.insert(block, self.now + self.reload_latency);
                 self.order.push_back((self.now + self.reload_latency, block));
             }
         }
+        self.batch = batch;
     }
 
     /// Wipes crashed levels; a server crash also forgets every in-flight
     /// disk fetch.
     fn apply_crashes(&mut self) {
-        for level in self.plane.take_crashes() {
+        let mut crashes = std::mem::take(&mut self.crash_buf);
+        self.plane.take_crashes_into(&mut crashes);
+        for &level in &crashes {
             if level == 0 {
                 for cl in &mut self.clients {
                     *cl = LruCache::new(cl.capacity());
@@ -165,24 +178,33 @@ impl<P: MessagePlane> EvictionBased<P> {
                 self.plane.purge_link(0);
             }
         }
+        self.crash_buf = crashes;
     }
 }
 
 impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; the
+        // allocation-free path is access_into.
+        let mut out = AccessOutcome::miss(1);
+        self.access_into(client, block, &mut out);
+        out
+    }
+
+    fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
         self.now += 1;
+        out.reset(1);
         self.plane.tick();
         self.apply_crashes();
         self.apply_reload_orders();
         self.drain_pending();
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
-        let mut outcome = AccessOutcome::miss(1);
 
         if self.clients[c].contains(&block) {
             self.clients[c].access(block);
-            outcome.hit_level = Some(0);
-            return outcome;
+            out.hit_level = Some(0);
+            return;
         }
         match self.plane.rpc(0) {
             RpcFate::RequestLost => {} // the server never saw the read
@@ -193,7 +215,7 @@ impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
                     // in transit; the reference falls through to disk.
                     self.server.remove(&block);
                     if fate == RpcFate::Delivered {
-                        outcome.hit_level = Some(1);
+                        out.hit_level = Some(1);
                     }
                 } else if self.pending.remove(block).is_some() {
                     // Reload window: the block is on its way from disk but
@@ -211,7 +233,6 @@ impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
                 .send(0, Direction::Down, Message::Reload { block: victim });
             self.apply_reload_orders();
         }
-        outcome
     }
 
     fn num_levels(&self) -> usize {

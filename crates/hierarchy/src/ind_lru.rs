@@ -31,6 +31,9 @@ pub struct IndLru<P: MessagePlane = ReliablePlane> {
     clients: Vec<LruCache<BlockId>>,
     shared: Vec<LruCache<BlockId>>,
     plane: P,
+    /// Pooled crash buffer, recycled across accesses so the steady-state
+    /// path performs no heap allocation (DESIGN.md §5f).
+    crash_buf: Vec<usize>,
 }
 
 impl IndLru {
@@ -60,6 +63,7 @@ impl IndLru {
             clients: client_capacities.into_iter().map(LruCache::new).collect(),
             shared: shared_capacities.into_iter().map(LruCache::new).collect(),
             plane: ReliablePlane::new(),
+            crash_buf: Vec::new(),
         }
     }
 }
@@ -71,6 +75,7 @@ impl<P: MessagePlane> IndLru<P> {
             clients: self.clients,
             shared: self.shared,
             plane,
+            crash_buf: self.crash_buf,
         }
     }
 
@@ -81,7 +86,9 @@ impl<P: MessagePlane> IndLru<P> {
 
     /// Wipes crashed levels (cold restart).
     fn apply_crashes(&mut self) {
-        for level in self.plane.take_crashes() {
+        let mut crashes = std::mem::take(&mut self.crash_buf);
+        self.plane.take_crashes_into(&mut crashes);
+        for &level in &crashes {
             if level == 0 {
                 for cl in &mut self.clients {
                     *cl = LruCache::new(cl.capacity());
@@ -92,18 +99,29 @@ impl<P: MessagePlane> IndLru<P> {
                 self.plane.purge_link(s);
             }
         }
+        self.crash_buf = crashes;
     }
 }
 
 impl<P: MessagePlane> MultiLevelPolicy for IndLru<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; the
+        // allocation-free path is access_into.
+        let mut out = AccessOutcome::miss(self.num_levels() - 1);
+        self.access_into(client, block, &mut out);
+        out
+    }
+
+    fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
         let boundaries = self.num_levels() - 1;
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
+        out.reset(boundaries);
         self.plane.tick();
         self.apply_crashes();
         if self.clients[c].access(block).is_hit() {
-            return AccessOutcome::hit(0, boundaries);
+            out.hit_level = Some(0);
+            return;
         }
         for (i, level) in self.shared.iter_mut().enumerate() {
             match self.plane.rpc(i) {
@@ -111,14 +129,14 @@ impl<P: MessagePlane> MultiLevelPolicy for IndLru<P> {
                 fate => {
                     let hit = level.access(block).is_hit();
                     if hit && fate == RpcFate::Delivered {
-                        return AccessOutcome::hit(i + 1, boundaries);
+                        out.hit_level = Some(i + 1);
+                        return;
                     }
                     // Reply lost: the level installed/served the block but
                     // the client never heard; fall through to the next.
                 }
             }
         }
-        AccessOutcome::miss(boundaries)
     }
 
     fn num_levels(&self) -> usize {

@@ -63,7 +63,7 @@ pub use demotion_buffer::DemotionBuffer;
 pub use eviction_based::EvictionBased;
 pub use ind_lru::IndLru;
 pub use mq_server::LruMqServer;
-pub use plane::{FaultScenario, FaultyPlane, MessagePlane, ReliablePlane};
+pub use plane::{DeliveryBatch, FaultScenario, FaultyPlane, MessagePlane, ReliablePlane};
 pub use protocol::{AccessOutcome, MultiLevelPolicy};
 pub use sim::{simulate, simulate_with_paper_warmup};
 pub use stats::{FaultSummary, SimStats, TimeBreakdown};

@@ -56,16 +56,24 @@ impl LruMqServer {
 
 impl MultiLevelPolicy for LruMqServer {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; the
+        // allocation-free path is access_into.
+        let mut out = AccessOutcome::miss(1);
+        self.access_into(client, block, &mut out);
+        out
+    }
+
+    fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
+        out.reset(1);
         if self.clients[c].access(block).is_hit() {
-            return AccessOutcome::hit(0, 1);
+            out.hit_level = Some(0);
+            return;
         }
         // The server sees the client's miss stream, MQ-managed.
         if self.server.access(block).is_hit() {
-            AccessOutcome::hit(1, 1)
-        } else {
-            AccessOutcome::miss(1)
+            out.hit_level = Some(1);
         }
     }
 

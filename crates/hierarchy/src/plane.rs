@@ -145,6 +145,71 @@ impl PlaneAccounting {
     }
 }
 
+/// A caller-owned, reusable buffer of delivered messages.
+///
+/// [`MessagePlane::deliver_into`] drains a link queue into one of these
+/// in place; clearing keeps the capacity, so a protocol that pumps its
+/// inbox through a pooled batch every access stops touching the allocator
+/// once the batch has grown to the busiest delivery it has seen
+/// (DESIGN.md §5f).
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryBatch {
+    msgs: Vec<Message>,
+}
+
+impl DeliveryBatch {
+    /// An empty batch. Never allocates.
+    pub fn new() -> Self {
+        DeliveryBatch::default()
+    }
+
+    /// Number of messages in the batch.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// `true` when the batch holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Empties the batch, retaining its capacity for reuse.
+    pub fn clear(&mut self) {
+        self.msgs.clear();
+    }
+
+    /// Appends one message (for [`MessagePlane::deliver_into`]
+    /// implementations).
+    pub fn push(&mut self, msg: Message) {
+        self.msgs.push(msg);
+    }
+
+    /// The delivered messages, in delivery order.
+    pub fn as_slice(&self) -> &[Message] {
+        &self.msgs
+    }
+
+    /// Consumes the batch into a plain `Vec` (the by-value
+    /// [`MessagePlane::deliver`] compatibility path).
+    pub fn into_vec(self) -> Vec<Message> {
+        self.msgs
+    }
+}
+
+impl Extend<Message> for DeliveryBatch {
+    fn extend<I: IntoIterator<Item = Message>>(&mut self, iter: I) {
+        self.msgs.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a DeliveryBatch {
+    type Item = &'a Message;
+    type IntoIter = std::slice::Iter<'a, Message>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.iter()
+    }
+}
+
 /// The transport every inter-level message crosses.
 ///
 /// Implementations must be deterministic: the same call sequence on the
@@ -159,14 +224,43 @@ pub trait MessagePlane: std::fmt::Debug {
     /// Levels that crash-and-cold-restart at the current tick. The caller
     /// wipes the level; in-flight traffic should be purged with
     /// [`MessagePlane::purge_link`] as appropriate.
-    fn take_crashes(&mut self) -> Vec<usize>;
+    ///
+    /// By-value wrapper over [`MessagePlane::take_crashes_into`]. An empty
+    /// `Vec` never allocates, so on healthy ticks this is free; pooled
+    /// callers still prefer the `_into` form for a uniform hot path.
+    fn take_crashes(&mut self) -> Vec<usize> {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; empty Vec::new never allocates
+        let mut out = Vec::new();
+        self.take_crashes_into(&mut out);
+        out
+    }
+
+    /// Pooled variant of [`MessagePlane::take_crashes`]: clears `out` and
+    /// appends the levels crashing at the current tick. Implementations
+    /// must not allocate when no crash is due (the steady-state case).
+    fn take_crashes_into(&mut self, out: &mut Vec<usize>);
 
     /// Enqueues an asynchronous message on `(link, dir)`.
     fn send(&mut self, link: usize, dir: Direction, msg: Message);
 
     /// Returns every message currently deliverable on `(link, dir)`, in
     /// delivery order.
-    fn deliver(&mut self, link: usize, dir: Direction) -> Vec<Message>;
+    ///
+    /// By-value wrapper over [`MessagePlane::deliver_into`]; allocates a
+    /// fresh buffer per call, so steady-state hot paths should pool a
+    /// [`DeliveryBatch`] and use the `_into` form instead.
+    fn deliver(&mut self, link: usize, dir: Direction) -> Vec<Message> {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is deliver_into
+        let mut batch = DeliveryBatch::new();
+        self.deliver_into(link, dir, &mut batch);
+        batch.into_vec()
+    }
+
+    /// Drains every message currently deliverable on `(link, dir)`, in
+    /// delivery order, into the caller-pooled `out` (cleared first). The
+    /// `delivery_batches` counter is bumped exactly when at least one
+    /// message is handed back, identically across implementations.
+    fn deliver_into(&mut self, link: usize, dir: Direction, out: &mut DeliveryBatch);
 
     /// Messages queued on `(link, dir)` (deliverable or still in flight),
     /// in queue order — for invariant checks, not for protocol use.
@@ -229,30 +323,32 @@ impl MessagePlane for ReliablePlane {
         self.now
     }
 
-    fn take_crashes(&mut self) -> Vec<usize> {
-        Vec::new()
+    fn take_crashes_into(&mut self, out: &mut Vec<usize>) {
+        // A reliable plane never crashes; just hand back an empty slice.
+        out.clear();
     }
 
     fn send(&mut self, link: usize, dir: Direction, msg: Message) {
         self.acct.sent += 1;
         let s = slot(link, dir);
         if s >= self.queues.len() {
+            // lint:allow(hot-path-alloc) first send on a link grows the queue table once; steady state reuses it
             self.queues.resize_with(s + 1, VecDeque::new);
         }
         self.queues[s].push_back(msg);
     }
 
-    fn deliver(&mut self, link: usize, dir: Direction) -> Vec<Message> {
+    fn deliver_into(&mut self, link: usize, dir: Direction, out: &mut DeliveryBatch) {
+        out.clear();
         let Some(q) = self.queues.get_mut(slot(link, dir)) else {
-            return Vec::new();
+            return;
         };
         if q.is_empty() {
-            return Vec::new();
+            return;
         }
-        let out: Vec<Message> = q.drain(..).collect();
+        out.extend(q.drain(..));
         self.acct.delivered += out.len() as u64;
         self.acct.delivery_batches += 1;
-        out
     }
 
     fn queued(&self, link: usize, dir: Direction) -> Vec<Message> {
@@ -598,8 +694,8 @@ impl MessagePlane for FaultyPlane {
         self.now
     }
 
-    fn take_crashes(&mut self) -> Vec<usize> {
-        let mut out = Vec::new();
+    fn take_crashes_into(&mut self, out: &mut Vec<usize>) {
+        out.clear();
         while let Some(ev) = self.scenario.crashes.get(self.crash_cursor) {
             if ev.at > self.now {
                 break;
@@ -608,7 +704,6 @@ impl MessagePlane for FaultyPlane {
             self.crash_cursor += 1;
             self.acct.crashes += 1;
         }
-        out
     }
 
     fn send(&mut self, link: usize, dir: Direction, msg: Message) {
@@ -627,15 +722,16 @@ impl MessagePlane for FaultyPlane {
         }
     }
 
-    fn deliver(&mut self, link: usize, dir: Direction) -> Vec<Message> {
+    fn deliver_into(&mut self, link: usize, dir: Direction, out: &mut DeliveryBatch) {
+        out.clear();
         let Some(q) = self.queues.get_mut(&(link, dir)) else {
-            return Vec::new();
+            return;
         };
         // Everything due at or before `now` is deliverable. Due entries
         // are popped off the front in place: the still-queued tail keeps
         // its nodes, where the previous split_off + replace rebuilt the
-        // map and reallocated every surviving entry on every call.
-        let mut out = Vec::new();
+        // map and reallocated every surviving entry on every call. The
+        // popped messages land in the caller's recycled batch.
         let high = self.delivered_high.entry((link, dir)).or_insert(0);
         while q.first_key_value().is_some_and(|(&(due, _), _)| due <= self.now) {
             let ((_, seq), msg) = q.pop_first().expect("peeked entry is present");
@@ -649,7 +745,6 @@ impl MessagePlane for FaultyPlane {
         if !out.is_empty() {
             self.acct.delivery_batches += 1;
         }
-        out
     }
 
     fn queued(&self, link: usize, dir: Direction) -> Vec<Message> {

@@ -32,6 +32,16 @@ impl AccessOutcome {
             demotions: vec![0; boundaries],
         }
     }
+
+    /// Resets a pooled outcome in place: a miss with `boundaries` zeroed
+    /// demotion counters. Reuses the demotion buffer's capacity, so a
+    /// caller that keeps one outcome across accesses never reallocates —
+    /// the [`MultiLevelPolicy::access_into`] contract.
+    pub fn reset(&mut self, boundaries: usize) {
+        self.hit_level = None;
+        self.demotions.clear();
+        self.demotions.resize(boundaries, 0);
+    }
 }
 
 /// A block placement and replacement protocol over a multi-level buffer
@@ -44,6 +54,19 @@ impl AccessOutcome {
 pub trait MultiLevelPolicy {
     /// Handles one reference by `client` to `block`.
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome;
+
+    /// Handles one reference by `client` to `block`, writing the result
+    /// into a caller-pooled `out` instead of returning a fresh
+    /// allocation. `out` is reset first (any previous contents are
+    /// ignored), so one outcome can be reused across every access of a
+    /// simulation — the zero-allocation steady-state driver
+    /// [`crate::simulate`] relies on this.
+    ///
+    /// The default forwards to [`MultiLevelPolicy::access`]; engines with
+    /// an allocation-free path override it.
+    fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
+        *out = self.access(client, block);
+    }
 
     /// Number of cache levels.
     fn num_levels(&self) -> usize;

@@ -10,7 +10,7 @@
 //! reorder semantics need the `(due, seq)` ordering — so it needs no
 //! retained twin.)
 
-use crate::plane::{Direction, Message, MessagePlane, PlaneAccounting, RpcFate};
+use crate::plane::{DeliveryBatch, Direction, Message, MessagePlane, PlaneAccounting, RpcFate};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
@@ -44,8 +44,8 @@ impl MessagePlane for MapReliablePlane {
         self.now
     }
 
-    fn take_crashes(&mut self) -> Vec<usize> {
-        Vec::new()
+    fn take_crashes_into(&mut self, out: &mut Vec<usize>) {
+        out.clear();
     }
 
     fn send(&mut self, link: usize, dir: Direction, msg: Message) {
@@ -53,17 +53,17 @@ impl MessagePlane for MapReliablePlane {
         self.queues.entry((link, dir)).or_default().push_back(msg);
     }
 
-    fn deliver(&mut self, link: usize, dir: Direction) -> Vec<Message> {
+    fn deliver_into(&mut self, link: usize, dir: Direction, out: &mut DeliveryBatch) {
+        out.clear();
         let Some(q) = self.queues.get_mut(&(link, dir)) else {
-            return Vec::new();
+            return;
         };
         if q.is_empty() {
-            return Vec::new();
+            return;
         }
-        let out: Vec<Message> = q.drain(..).collect();
+        out.extend(q.drain(..));
         self.acct.delivered += out.len() as u64;
         self.acct.delivery_batches += 1;
-        out
     }
 
     fn queued(&self, link: usize, dir: Direction) -> Vec<Message> {

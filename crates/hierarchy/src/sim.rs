@@ -1,6 +1,6 @@
 //! The trace-driven simulation driver.
 
-use crate::{MultiLevelPolicy, SimStats};
+use crate::{AccessOutcome, MultiLevelPolicy, SimStats};
 use ulc_trace::Trace;
 
 /// Runs `trace` through `policy`, warming with the first `warmup`
@@ -28,8 +28,12 @@ pub fn simulate<P: MultiLevelPolicy + ?Sized>(
 ) -> SimStats {
     assert!(warmup <= trace.len(), "warm-up longer than the trace");
     let mut stats = SimStats::new(policy.num_levels());
+    // One pooled outcome for the whole run: `access_into` resets it per
+    // reference and reuses its demotion buffer, keeping the measured loop
+    // allocation-free for engines with pooled paths (DESIGN.md §5f).
+    let mut outcome = AccessOutcome::miss(policy.num_levels().saturating_sub(1));
     for (i, r) in trace.iter().enumerate() {
-        let outcome = policy.access(r.client, r.block);
+        policy.access_into(r.client, r.block, &mut outcome);
         if i >= warmup {
             stats.record(&outcome);
         }

@@ -29,7 +29,7 @@
 //! refresh), drops late demotes that would break exclusivity, and
 //! [`UniLru::reconcile`] repairs any residual duplicate residency.
 
-use crate::plane::{Direction, Message, MessagePlane, ReliablePlane, RpcFate};
+use crate::plane::{DeliveryBatch, Direction, Message, MessagePlane, ReliablePlane, RpcFate};
 use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
 use ulc_cache::LruCache;
@@ -76,6 +76,10 @@ pub struct UniLru<P: MessagePlane = ReliablePlane> {
     /// Protocol-side recovery counters (the plane keeps the transport
     /// counters itself).
     recovery: FaultSummary,
+    /// Pooled delivery and crash buffers, recycled across accesses so the
+    /// steady-state pump performs no heap allocation (DESIGN.md §5f).
+    batch: DeliveryBatch,
+    crash_buf: Vec<usize>,
     #[cfg(feature = "debug_invariants")]
     tick: u64,
 }
@@ -148,6 +152,8 @@ impl UniLru {
             epoch_len: 5_000,
             plane: ReliablePlane::new(),
             recovery: FaultSummary::default(),
+            batch: DeliveryBatch::new(),
+            crash_buf: Vec::new(),
             #[cfg(feature = "debug_invariants")]
             tick: 0,
         }
@@ -167,6 +173,8 @@ impl<P: MessagePlane> UniLru<P> {
             epoch_len: self.epoch_len,
             plane,
             recovery: self.recovery,
+            batch: self.batch,
+            crash_buf: self.crash_buf,
             #[cfg(feature = "debug_invariants")]
             tick: self.tick,
         }
@@ -337,14 +345,18 @@ impl<P: MessagePlane> UniLru<P> {
     /// ascending pass drains a whole demotion chain in the historical
     /// in-line order.
     fn pump(&mut self, demotions: &mut [u32]) {
+        // The delivery batch is pooled on the protocol and taken out for
+        // the duration of the pump (applying a demote needs `&mut self`).
+        let mut batch = std::mem::take(&mut self.batch);
         loop {
             let mut any = false;
             for j in 0..self.shared.len() {
-                for msg in self.plane.deliver(j, Direction::Down) {
+                self.plane.deliver_into(j, Direction::Down, &mut batch);
+                for k in 0..batch.len() {
                     any = true;
                     // uniLRU's links carry only demotes; anything else is
                     // a foreign duplicate — ignore it.
-                    if let Message::Demote { block, mru, owner } = msg {
+                    if let Message::Demote { block, mru, owner } = batch.as_slice()[k] {
                         self.apply_demote(j, block, mru, owner, demotions);
                     }
                 }
@@ -353,12 +365,15 @@ impl<P: MessagePlane> UniLru<P> {
                 break;
             }
         }
+        self.batch = batch;
     }
 
     /// Wipes crashed levels (cold restart) and purges traffic destined
     /// for them.
     fn apply_crashes(&mut self) {
-        for level in self.plane.take_crashes() {
+        let mut crashes = std::mem::take(&mut self.crash_buf);
+        self.plane.take_crashes_into(&mut crashes);
+        for &level in &crashes {
             if level == 0 {
                 for cl in &mut self.clients {
                     *cl = LruCache::new(cl.capacity());
@@ -373,6 +388,7 @@ impl<P: MessagePlane> UniLru<P> {
                 self.plane.purge_link(s);
             }
         }
+        self.crash_buf = crashes;
     }
 
     /// Runs the plane forward until no message is in flight, applying
@@ -453,21 +469,29 @@ impl<P: MessagePlane> UniLru<P> {
 
 impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
+        // lint:allow(hot-path-alloc) by-value compatibility shim; the
+        // allocation-free path is access_into.
+        let mut out = AccessOutcome::miss(self.num_levels() - 1);
+        self.access_into(client, block, &mut out);
+        out
+    }
+
+    fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
         let boundaries = self.num_levels() - 1;
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
+        out.reset(boundaries);
         self.plane.tick();
         self.apply_crashes();
         self.maybe_flip_epoch(c);
-        let mut outcome = AccessOutcome::miss(boundaries);
         // Apply traffic that became due since the previous reference
         // (no-op on the reliable plane: its queues drain within an access).
-        self.pump(&mut outcome.demotions);
+        self.pump(&mut out.demotions);
 
         if self.clients[c].contains(&block) {
             self.clients[c].access(block); // refresh recency only
-            outcome.hit_level = Some(0);
-            return outcome;
+            out.hit_level = Some(0);
+            return;
         }
         // Search the lower levels; promotion is exclusive. Each probe is a
         // demand read crossing boundary `i`.
@@ -490,7 +514,7 @@ impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
                             // the reference falls through to disk.
                             continue;
                         }
-                        outcome.hit_level = Some(i + 1);
+                        out.hit_level = Some(i + 1);
                         break;
                     }
                 }
@@ -511,11 +535,10 @@ impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
                     owner: c as u32,
                 },
             );
-            self.pump(&mut outcome.demotions);
+            self.pump(&mut out.demotions);
         }
         #[cfg(feature = "debug_invariants")]
         self.debug_validate();
-        outcome
     }
 
     fn num_levels(&self) -> usize {

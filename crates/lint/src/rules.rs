@@ -1,6 +1,6 @@
 //! The lint rules, the allowlist protocol and the per-file driver.
 //!
-//! Five rule classes guard the repo's headline guarantees (see DESIGN.md
+//! Six rule classes guard the repo's headline guarantees (see DESIGN.md
 //! §5c):
 //!
 //! * [`RULE_DETERMINISM`] — no iteration over `HashMap`/`HashSet` (their
@@ -21,7 +21,14 @@
 //!   [`HOT_PATH_MODULES`] must not reintroduce `std::collections`
 //!   `HashMap`/`HashSet` (SipHash per operation): per-block state belongs
 //!   in `ulc_trace::BlockMap` dense tables or vendored `FxHashMap`
-//!   (see DESIGN.md §5e).
+//!   (see DESIGN.md §5e);
+//! * [`RULE_HOT_PATH_ALLOC`] — the per-access function bodies of the
+//!   scratch-engine modules in [`HOT_ALLOC_MODULES`] must not heap
+//!   allocate (`Vec::new`, `vec!`, `.clone()`, `.to_vec()`, `.collect()`
+//!   and friends): variable-length side effects go through the reusable
+//!   `AccessScratch`/`DeliveryBatch` pools so the steady state performs
+//!   zero allocations per access (see DESIGN.md §5f). By-value
+//!   compatibility wrappers justify themselves with an allow comment.
 //!
 //! A diagnostic is suppressed by an allowlist comment on the same line or
 //! the line above the offending code:
@@ -51,15 +58,18 @@ pub const RULE_DOCS: &str = "missing-docs";
 pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
 /// Rule name: std hash tables in simulation hot-path modules.
 pub const RULE_HOT_PATH_MAP: &str = "hot-path-map";
+/// Rule name: heap allocation in per-access scratch-engine functions.
+pub const RULE_HOT_PATH_ALLOC: &str = "hot-path-alloc";
 
 /// Every rule the pass knows, in reporting order.
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 7] = [
     RULE_DETERMINISM,
     RULE_UNSAFE,
     RULE_PANIC,
     RULE_DOCS,
     RULE_ALLOW_SYNTAX,
     RULE_HOT_PATH_MAP,
+    RULE_HOT_PATH_ALLOC,
 ];
 
 /// Per-reference hot-path modules of the simulation engine: code here
@@ -83,6 +93,64 @@ pub const HOT_PATH_MODULES: [&str; 10] = [
 fn is_hot_path(path: &str) -> bool {
     let p = path.replace('\\', "/");
     HOT_PATH_MODULES.iter().any(|m| p.ends_with(m))
+}
+
+/// Modules under the zero-allocation steady-state contract (DESIGN.md
+/// §5f): the protocol engines and message planes whose per-access paths
+/// route every variable-length side effect through a caller-owned
+/// `AccessScratch`, `AccessOutcome` or `DeliveryBatch` pool. Heap
+/// allocation inside their per-access functions ([`HOT_ALLOC_FNS`]) is a
+/// contract violation; the throughput harness gates the same property
+/// dynamically via the `alloc_stats` counting allocator. Matched as path
+/// suffixes. The generic cache policy structs (`crates/cache`) are
+/// exempt: their `K: Clone` keys are `Copy` on the simulation path, and
+/// they are not part of the gated engines.
+pub const HOT_ALLOC_MODULES: [&str; 10] = [
+    "crates/core/src/stack.rs",
+    "crates/core/src/scratch.rs",
+    "crates/core/src/single.rs",
+    "crates/core/src/multi.rs",
+    "crates/hierarchy/src/uni_lru.rs",
+    "crates/hierarchy/src/ind_lru.rs",
+    "crates/hierarchy/src/eviction_based.rs",
+    "crates/hierarchy/src/mq_server.rs",
+    "crates/hierarchy/src/demotion_buffer.rs",
+    "crates/hierarchy/src/plane.rs",
+];
+
+/// Per-access entry points whose bodies the [`RULE_HOT_PATH_ALLOC`] rule
+/// scans. Covers the access path itself, its demotion/eviction cascade,
+/// and the steady-state message pumping. Deliberately excludes the
+/// crash-recovery path (`apply_crashes`, `reconcile*`, `repair_*`):
+/// rebuilding state after an injected crash allocates by design and is
+/// not steady state.
+const HOT_ALLOC_FNS: [&str; 20] = [
+    "access",
+    "access_into",
+    "cascade",
+    "trim",
+    "reset",
+    "note_temp_lru",
+    "pump",
+    "apply_demote",
+    "apply_directive",
+    "apply_effect",
+    "apply_replacement",
+    "drain_server_inbox",
+    "deliver_notices",
+    "apply_reload_orders",
+    "send",
+    "deliver",
+    "deliver_into",
+    "take_crashes",
+    "take_crashes_into",
+    "enqueue",
+];
+
+/// Whether `path` names one of the [`HOT_ALLOC_MODULES`].
+fn is_hot_alloc_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    HOT_ALLOC_MODULES.iter().any(|m| p.ends_with(m))
 }
 
 /// How a file participates in the rule set.
@@ -177,6 +245,9 @@ pub fn check_source(path: &str, src: &str, kind: FileKind) -> Vec<Diagnostic> {
         docs_rule(path, &file, &in_test, &mut diags);
         if is_hot_path(path) {
             hot_path_map_rule(path, &file, &in_test, &mut diags);
+        }
+        if is_hot_alloc_path(path) {
+            hot_path_alloc_rule(path, &file, &in_test, &mut diags);
         }
     }
 
@@ -524,6 +595,104 @@ fn hot_path_map_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut
                 t.text
             ),
         ));
+    }
+}
+
+/// Allocating methods (called as `.name(...)`) forbidden inside hot-path
+/// per-access bodies.
+const ALLOC_METHODS: [&str; 5] = ["clone", "to_vec", "to_owned", "to_string", "collect"];
+
+/// Owner types whose `new`/`with_capacity`/`from` constructors allocate.
+const ALLOC_TYPES: [&str; 4] = ["Vec", "VecDeque", "Box", "String"];
+
+/// Flags heap allocation inside the per-access functions
+/// ([`HOT_ALLOC_FNS`]) of the scratch-engine modules
+/// ([`HOT_ALLOC_MODULES`]): allocating method calls, `vec!`/`format!`
+/// invocations and allocating constructors. The by-value compatibility
+/// wrappers (`access`, `deliver`, `take_crashes`) keep their allocations
+/// behind `lint:allow(hot-path-alloc)` comments naming the `_into`
+/// replacement, so the rule also documents where the allocation-free
+/// path lives.
+fn hot_path_alloc_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        if in_test[i] || !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1) else { break };
+        if !HOT_ALLOC_FNS.contains(&name.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        // Find the body's opening brace; a `;` first means a trait
+        // method without a default body — nothing to scan.
+        let mut j = i + 2;
+        let open = loop {
+            match tokens.get(j) {
+                None => break None,
+                Some(x) if x.is_punct(';') => break None,
+                Some(x) if x.is_punct('{') => break Some(j),
+                Some(_) => j += 1,
+            }
+        };
+        let Some(open_idx) = open else {
+            i += 2;
+            continue;
+        };
+        let close_idx = matching(tokens, open_idx, '{', '}').unwrap_or(tokens.len() - 1);
+        for k in open_idx + 1..close_idx {
+            let x = &tokens[k];
+            if x.kind != TokenKind::Ident {
+                continue;
+            }
+            let next_is = |p: char| tokens.get(k + 1).is_some_and(|t| t.is_punct(p));
+            if tokens[k - 1].is_punct('.') && next_is('(') && ALLOC_METHODS.contains(&x.text.as_str())
+            {
+                diags.push(Diagnostic::new(
+                    path,
+                    x.line,
+                    RULE_HOT_PATH_ALLOC,
+                    &format!(
+                        "`.{}()` allocates inside per-access fn `{}`; write into the \
+                         reusable scratch/outcome pool instead (DESIGN.md §5f)",
+                        x.text, name.text
+                    ),
+                ));
+            } else if (x.is_ident("vec") || x.is_ident("format")) && next_is('!') {
+                diags.push(Diagnostic::new(
+                    path,
+                    x.line,
+                    RULE_HOT_PATH_ALLOC,
+                    &format!(
+                        "`{}!` allocates inside per-access fn `{}`; reuse a pooled \
+                         buffer instead (DESIGN.md §5f)",
+                        x.text, name.text
+                    ),
+                ));
+            } else if ALLOC_TYPES.contains(&x.text.as_str())
+                && next_is(':')
+                && tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(k + 3).is_some_and(|m| {
+                    m.is_ident("new") || m.is_ident("with_capacity") || m.is_ident("from")
+                })
+            {
+                diags.push(Diagnostic::new(
+                    path,
+                    x.line,
+                    RULE_HOT_PATH_ALLOC,
+                    &format!(
+                        "`{}::{}` allocates inside per-access fn `{}`; hoist the buffer \
+                         into the engine and reuse it (DESIGN.md §5f)",
+                        x.text,
+                        tokens[k + 3].text,
+                        name.text
+                    ),
+                ));
+            }
+        }
+        i = close_idx + 1;
     }
 }
 
@@ -899,6 +1068,74 @@ mod tests {
         let d: Vec<_> = check_source("crates/cache/src/lirs.rs", src, FileKind::Library)
             .into_iter()
             .filter(|d| d.rule == RULE_HOT_PATH_MAP)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hot_alloc_clone_in_access_is_flagged() {
+        let src = "fn access_into(&mut self, b: u32) { let d = self.demotions.clone(); let _ = d; }\n";
+        let d: Vec<_> = check_source("crates/core/src/stack.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
+            .collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn hot_alloc_vec_macro_and_constructor_are_flagged() {
+        let src = "fn pump(&mut self) { let a = vec![0u32; 4]; let b: Vec<u32> = Vec::new(); let _ = (a, b); }\n";
+        let d: Vec<_> = check_source("crates/hierarchy/src/uni_lru.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
+            .collect();
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn hot_alloc_skips_non_access_fns_and_other_modules() {
+        // Constructors may allocate freely; so may per-access code in
+        // modules outside the §5f contract.
+        let ctor = "fn new() -> Self { Self { v: Vec::new(), w: vec![0; 8] } }\n";
+        let d: Vec<_> = check_source("crates/core/src/multi.rs", ctor, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+        let access = "fn access(&mut self) { let v = self.buf.to_vec(); let _ = v; }\n";
+        let d: Vec<_> = check_source("crates/bench/src/fig6.rs", access, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hot_alloc_allow_comment_suppresses() {
+        let src = "fn access(&mut self) -> Vec<u32> {\n    // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into\n    self.buf.to_vec()\n}\n";
+        let d: Vec<_> = check_source("crates/hierarchy/src/plane.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC || d.rule == RULE_ALLOW_SYNTAX)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hot_alloc_trait_signature_without_body_is_clean() {
+        let src = "pub trait P {\n    /// Doc.\n    fn access_into(&mut self, out: &mut Vec<u32>);\n}\n";
+        let d: Vec<_> = check_source("crates/hierarchy/src/plane.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hot_alloc_test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn access(&mut self) { let v = vec![1, 2]; let _ = v.clone(); }\n}\n";
+        let d: Vec<_> = check_source("crates/core/src/single.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
             .collect();
         assert!(d.is_empty(), "{d:?}");
     }

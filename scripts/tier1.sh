@@ -18,14 +18,21 @@ cargo test --features debug_invariants -q
 cargo test -q -p ulc-core --test protocol_comparison
 cargo test -q -p ulc-core --test chaos --features debug_invariants seeded_chaos_scenario_recovers
 
-# Throughput gate (ISSUE 4): the differential suite above proves the
-# interned flat tables bit-identical; this proves they stay fast. The
+# Throughput + allocation gates (ISSUES 4 and 6): the differential suites
+# above prove the interned flat tables and the pooled scratch paths
+# bit-identical; this proves they stay fast and allocation-free. The
 # smoke-scale harness rewrites BENCH_sim.json and fails if any interned
 # accesses/sec rate drops more than 25% below the conservative checked-in
 # baseline (BENCH_baseline.json, recorded well under a healthy machine's
-# measurement so scheduler noise cannot trip the gate).
-cargo run -q --release -p ulc-bench --bin sweep -- \
+# measurement so scheduler noise cannot trip the gate). Building with
+# --features alloc_stats installs the counting global allocator, so the
+# same run also fails if ULC, uniLRU or evict-reload report a nonzero
+# steady-state allocations/access rate (DESIGN.md §5f).
+cargo run -q --release -p ulc-bench --features alloc_stats --bin sweep -- \
   --bench-only --scale=smoke \
   --bench-json=BENCH_sim.json --bench-baseline=BENCH_baseline.json
+
+# The unit-level form of the same contract, with the counting allocator on:
+cargo test -q -p ulc-bench --features alloc_stats --test alloc_gate
 
 echo "tier1: ok"

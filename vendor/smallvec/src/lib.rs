@@ -1,0 +1,319 @@
+//! Offline stand-in for the `smallvec` crate, implementing the API subset
+//! the ULC workspace uses.
+//!
+//! [`SmallVec<T, N>`] stores up to `N` elements inline (no heap traffic at
+//! all) and spills to an internal `Vec` only when the `N+1`-th element is
+//! pushed. Crucially for the zero-allocation steady-state contract
+//! (DESIGN.md §5f), [`SmallVec::clear`] keeps the spill buffer's capacity,
+//! so a scratch vector that spilled once never allocates again until it
+//! outgrows its high-water mark.
+//!
+//! To stay safe-code-only (the real crate uses raw buffers), the element
+//! type is bounded by `Copy + Default` — every scratch payload in this
+//! workspace (block ids, level indices, node handles) is a small plain
+//! value, so the bound costs nothing.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector with `N` elements of inline storage and a heap spill buffer.
+///
+/// # Examples
+///
+/// ```
+/// use smallvec::SmallVec;
+///
+/// let mut v: SmallVec<u32, 4> = SmallVec::new();
+/// v.push(1);
+/// v.push(2);
+/// assert_eq!(v.as_slice(), &[1, 2]);
+/// assert!(!v.spilled());
+/// v.extend_from_slice(&[3, 4, 5]);
+/// assert!(v.spilled());
+/// assert_eq!(v.len(), 5);
+/// v.clear();
+/// assert!(v.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct SmallVec<T: Copy + Default, const N: usize> {
+    /// Inline storage; holds the live elements while `!spilled`.
+    inline: [T; N],
+    /// Live element count while `!spilled`; unused after spilling.
+    inline_len: usize,
+    /// Heap storage once the inline buffer overflows. Retains its
+    /// capacity across `clear` so steady-state reuse never reallocates.
+    spill: Vec<T>,
+    /// Whether the live elements currently live in `spill`.
+    spilled: bool,
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// Creates an empty vector. Never allocates.
+    pub fn new() -> Self {
+        SmallVec {
+            inline: [T::default(); N],
+            inline_len: 0,
+            spill: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.spill.len()
+        } else {
+            self.inline_len
+        }
+    }
+
+    /// `true` when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The inline capacity `N`.
+    pub const fn inline_capacity() -> usize {
+        N
+    }
+
+    /// `true` once the elements have moved to the heap spill buffer.
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// Removes every element. Keeps the spill buffer's capacity, so a
+    /// vector that spilled once can refill to its high-water mark without
+    /// allocating.
+    pub fn clear(&mut self) {
+        self.inline_len = 0;
+        self.spill.clear();
+        self.spilled = false;
+    }
+
+    /// Appends an element, spilling to the heap when the inline buffer is
+    /// full. After the first spill, pushes within the retained capacity
+    /// are allocation-free.
+    pub fn push(&mut self, value: T) {
+        if !self.spilled {
+            if self.inline_len < N {
+                self.inline[self.inline_len] = value;
+                self.inline_len += 1;
+                return;
+            }
+            self.spill.extend_from_slice(&self.inline[..N]);
+            self.spilled = true;
+        }
+        self.spill.push(value);
+    }
+
+    /// Removes and returns the last element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.spilled {
+            self.spill.pop()
+        } else if self.inline_len > 0 {
+            self.inline_len -= 1;
+            Some(self.inline[self.inline_len])
+        } else {
+            None
+        }
+    }
+
+    /// Shortens the vector to `len` elements (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if self.spilled {
+            self.spill.truncate(len);
+        } else {
+            self.inline_len = self.inline_len.min(len);
+        }
+    }
+
+    /// Resizes to exactly `len` elements, filling with `value` when
+    /// growing.
+    pub fn resize(&mut self, len: usize, value: T) {
+        while self.len() > len {
+            self.pop();
+        }
+        while self.len() < len {
+            self.push(value);
+        }
+    }
+
+    /// Appends every element of `other`.
+    pub fn extend_from_slice(&mut self, other: &[T]) {
+        for &v in other {
+            self.push(v);
+        }
+    }
+
+    /// The live elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled {
+            &self.spill
+        } else {
+            &self.inline[..self.inline_len]
+        }
+    }
+
+    /// The live elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled {
+            &mut self.spill
+        } else {
+            &mut self.inline[..self.inline_len]
+        }
+    }
+
+    /// Copies the live elements into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<[T]> for SmallVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        v.extend(iter);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_and_preserves_order() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_unspills_but_keeps_capacity() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        v.extend_from_slice(&[1, 2, 3, 4]);
+        assert!(v.spilled());
+        let cap = v.spill.capacity();
+        v.clear();
+        assert!(!v.spilled());
+        assert!(v.is_empty());
+        assert_eq!(v.spill.capacity(), cap);
+        // Refilling to the high-water mark reuses the retained buffer.
+        v.extend_from_slice(&[5, 6, 7, 8]);
+        assert_eq!(v.as_slice(), &[5, 6, 7, 8]);
+        assert_eq!(v.spill.capacity(), cap);
+    }
+
+    #[test]
+    fn pop_crosses_the_spill_boundary() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        v.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        v.resize(3, 7);
+        assert_eq!(v.as_slice(), &[7, 7, 7]);
+        v.resize(1, 0);
+        assert_eq!(v.as_slice(), &[7]);
+        v.resize(6, 9);
+        assert_eq!(v.len(), 6);
+        assert!(v.spilled());
+    }
+
+    #[test]
+    fn mutable_slice_access() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        v.extend_from_slice(&[1, 2, 3]);
+        v[1] += 10;
+        assert_eq!(v.as_slice(), &[1, 12, 3]);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let mut a: SmallVec<u32, 2> = SmallVec::new();
+        let mut b: SmallVec<u32, 2> = SmallVec::new();
+        a.extend_from_slice(&[1, 2, 3]);
+        b.push(1);
+        b.push(2);
+        b.push(3);
+        assert_eq!(a, b);
+        assert!(a == *[1, 2, 3].as_slice());
+    }
+}
