@@ -37,7 +37,6 @@ fn fault_scenario_from_args() -> FaultScenario {
         if let Some(dsl) = arg.strip_prefix("--faults=") {
             return dsl
                 .parse()
-                // lint:allow(panic) CLI argument validation; aborting with a clear message is the contract
                 .unwrap_or_else(|e| panic!("bad --faults scenario: {e}"));
         }
     }
@@ -60,7 +59,6 @@ fn run_bench(scale: Scale, json: Option<&str>, baseline: Option<&str>) -> bool {
     println!("{}", throughput::render(&report));
     if let Some(path) = json {
         let file = std::fs::File::create(path)
-            // lint:allow(panic) CLI contract; the message needs the runtime path
             .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         serde_json::to_writer_pretty(file, &report).expect("report serialises");
         eprintln!("wrote {path}");
@@ -79,7 +77,6 @@ fn run_bench(scale: Scale, json: Option<&str>, baseline: Option<&str>) -> bool {
     }
     let Some(path) = baseline else { return ok };
     let text = std::fs::read_to_string(path)
-        // lint:allow(panic) CLI contract; the message needs the runtime path
         .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
     let base: throughput::ThroughputReport =
         serde_json::from_str(&text).expect("baseline parses");

@@ -117,7 +117,6 @@ fn accesses_per_sec<P: MultiLevelPolicy>(mut policy: P, trace: &Trace) -> f64 {
     // lint:allow(determinism) wall-clock timing of the harness itself; never feeds simulator results
     let start = Instant::now();
     let stats = simulate(&mut policy, trace, trace.warmup_len());
-    // lint:allow(determinism) wall-clock timing of the harness itself; never feeds simulator results
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     std::hint::black_box(stats);
     trace.len() as f64 / secs

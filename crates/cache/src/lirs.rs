@@ -97,7 +97,6 @@ impl<K: Eq + Hash + Clone> Lirs<K> {
         assert!(self.resident <= self.capacity, "residency within capacity");
         assert!(self.lir_count <= self.lir_capacity, "LIR set within its bound");
         let (mut lir, mut hir_resident, mut hir_history) = (0usize, 0usize, 0usize);
-        // lint:allow(determinism) order-insensitive counting of statuses
         for (key, status) in self.status.iter() {
             match status {
                 Status::Lir => {

@@ -61,6 +61,7 @@ impl<K: Eq + Hash + Clone> LruStack<K> {
             self.list.move_to_front(h);
             true
         } else {
+            // lint:allow(hot-path-alloc) K is Copy (BlockId) on every simulation path; K::clone is a move
             let h = self.list.push_front(key.clone());
             self.map.insert(key, h);
             false
@@ -74,6 +75,7 @@ impl<K: Eq + Hash + Clone> LruStack<K> {
             self.list.move_to_back(h);
             true
         } else {
+            // lint:allow(hot-path-alloc) K is Copy (BlockId) on every simulation path; K::clone is a move
             let h = self.list.push_back(key.clone());
             self.map.insert(key, h);
             false

@@ -139,6 +139,7 @@ impl<K: Eq + Hash + Clone> MultiQueue<K> {
                 .is_some_and(|m| m.expire_at < self.now);
             if expired {
                 self.queues[q].remove(&head);
+                // lint:allow(hot-path-alloc) K is Copy (BlockId) on every simulation path; K::clone is a move
                 self.queues[q - 1].touch(head.clone());
                 let m = self.meta.get_mut(&head).expect("head has metadata");
                 m.queue = q - 1;
@@ -148,6 +149,7 @@ impl<K: Eq + Hash + Clone> MultiQueue<K> {
     }
 
     fn remember_ghost(&mut self, key: K, frequency: u64) {
+        // lint:allow(hot-path-alloc) K is Copy (BlockId) on every simulation path; K::clone is a move
         self.ghost.touch(key.clone());
         self.ghost_freq.insert(key, frequency);
         while self.ghost.len() > self.config.ghost_capacity {
@@ -164,6 +166,7 @@ impl<K: Eq + Hash + Clone> MultiQueue<K> {
             .find_map(|q| q.bottom().cloned())?;
         let meta = self.meta.remove(&victim).expect("victim has metadata");
         self.queues[meta.queue].remove(&victim);
+        // lint:allow(hot-path-alloc) K is Copy (BlockId) on every simulation path; K::clone is a move
         self.remember_ghost(victim.clone(), meta.frequency);
         Some(victim)
     }
@@ -198,6 +201,7 @@ impl<K: Eq + Hash + Clone> MultiQueue<K> {
             self.ghost.remove(&key);
             let frequency = remembered + 1;
             let queue = self.queue_for(frequency);
+            // lint:allow(hot-path-alloc) K is Copy (BlockId) on every simulation path; K::clone is a move
             self.queues[queue].touch(key.clone());
             self.meta.insert(
                 key,

@@ -319,7 +319,6 @@ impl<P: MessagePlane> UlcMulti<P> {
     /// allocation of Figure 5.
     pub fn server_allocation(&self) -> Vec<usize> {
         let mut alloc = vec![0usize; self.clients.len()];
-        // lint:allow(determinism) order-insensitive accumulation into a per-client histogram
         for (_, &o) in self.server.owner.iter() {
             alloc[o as usize] += 1;
         }
@@ -390,6 +389,7 @@ impl<P: MessagePlane> UlcMulti<P> {
     }
 
     /// Amortised feature-gated self-check after each access.
+    // lint:cold-path feature-gated deep validation, compiled out of release builds
     #[cfg(feature = "debug_invariants")]
     fn debug_validate(&mut self) {
         self.tick += 1;
@@ -486,6 +486,7 @@ impl<P: MessagePlane> UlcMulti<P> {
         let mut notices = std::mem::take(&mut self.notices);
         self.plane.deliver_into(c, Direction::Up, &mut notices);
         for &msg in &notices {
+            // lint:allow(plane-exhaustive) the server's Up traffic is only replacement notices; foreign kinds are dropped by design
             if let Message::EvictNotice { block: victim } = msg {
                 if self.server.owner_of(victim) == Some(c as u32) {
                     continue;
@@ -499,6 +500,7 @@ impl<P: MessagePlane> UlcMulti<P> {
     /// Wipes crashed levels. A server cold restart marks every client's
     /// status table dirty: each rebuilds it via [`UlcMulti::reconcile_client`]
     /// before its next access is served.
+    // lint:cold-path crash recovery rebuilds whole stacks; allocation is by design
     fn apply_crashes(&mut self) {
         let mut crashes = std::mem::take(&mut self.crash_buf);
         self.plane.take_crashes_into(&mut crashes);
@@ -538,6 +540,7 @@ impl<P: MessagePlane> UlcMulti<P> {
     ///    exclusive caching; the server copy is purged (the private copy
     ///    is authoritative — repairing toward the faster level never
     ///    loses data).
+    // lint:cold-path NACK/restart reconciliation, off the steady-state access path
     pub fn reconcile_client(&mut self, c: usize) {
         self.recovery.reconciliation_rounds += 1;
         self.nack_sweep(c);
@@ -609,7 +612,6 @@ impl<P: MessagePlane> UlcMulti<P> {
 
 impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; the
         // allocation-free path is access_into.
         let mut out = AccessOutcome::miss(1);
         self.access_into(client, block, &mut out);

@@ -158,7 +158,6 @@ impl UlcSingle {
 
 impl MultiLevelPolicy for UlcSingle {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; the
         // allocation-free path is access_into.
         let mut out = AccessOutcome::miss(self.stack.num_levels() - 1);
         self.access_into(client, block, &mut out);

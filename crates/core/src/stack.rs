@@ -411,18 +411,14 @@ impl UniLruStack {
     /// builds a fresh [`StackOutcome`] per call. Steady-state hot paths
     /// should own an [`AccessScratch`] and call `access_into` instead.
     pub fn access(&mut self, block: BlockId) -> StackOutcome {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into
         let mut scratch = AccessScratch::new();
         let res = self.access_into(block, &mut scratch);
         StackOutcome {
             found: res.found,
             was_in_stack: res.was_in_stack,
             placed: res.placed,
-            // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into
             demotions: scratch.demotions.to_vec(),
-            // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into
             demoted: scratch.demoted.to_vec(),
-            // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into
             evicted: scratch.evicted.to_vec(),
         }
     }
@@ -553,6 +549,7 @@ impl UniLruStack {
 
     /// Amortised feature-gated self-check: every mutation while the stack
     /// is small, every 256th once it grows.
+    // lint:cold-path feature-gated deep validation, compiled out of release builds
     #[inline]
     fn debug_validate(&mut self) {
         #[cfg(feature = "debug_invariants")]

@@ -74,7 +74,6 @@ impl<P: MultiLevelPolicy> DemotionBuffer<P> {
 
 impl<P: MultiLevelPolicy> MultiLevelPolicy for DemotionBuffer<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; the
         // allocation-free path is access_into.
         let mut out = AccessOutcome::miss(self.num_levels().saturating_sub(1));
         self.access_into(client, block, &mut out);

@@ -152,6 +152,7 @@ impl<P: MessagePlane> EvictionBased<P> {
         let mut batch = std::mem::take(&mut self.batch);
         self.plane.deliver_into(0, Direction::Down, &mut batch);
         for &msg in &batch {
+            // lint:allow(plane-exhaustive) eviction-based placement sends only Reload orders downstream; foreign kinds are dropped by design
             if let Message::Reload { block } = msg {
                 self.reloads += 1;
                 self.pending.insert(block, self.now + self.reload_latency);
@@ -163,6 +164,7 @@ impl<P: MessagePlane> EvictionBased<P> {
 
     /// Wipes crashed levels; a server crash also forgets every in-flight
     /// disk fetch.
+    // lint:cold-path crash recovery rebuilds whole caches; allocation is by design
     fn apply_crashes(&mut self) {
         let mut crashes = std::mem::take(&mut self.crash_buf);
         self.plane.take_crashes_into(&mut crashes);
@@ -184,7 +186,6 @@ impl<P: MessagePlane> EvictionBased<P> {
 
 impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; the
         // allocation-free path is access_into.
         let mut out = AccessOutcome::miss(1);
         self.access_into(client, block, &mut out);

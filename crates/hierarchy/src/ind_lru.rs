@@ -85,6 +85,7 @@ impl<P: MessagePlane> IndLru<P> {
     }
 
     /// Wipes crashed levels (cold restart).
+    // lint:cold-path crash recovery rebuilds whole caches; allocation is by design
     fn apply_crashes(&mut self) {
         let mut crashes = std::mem::take(&mut self.crash_buf);
         self.plane.take_crashes_into(&mut crashes);
@@ -105,7 +106,6 @@ impl<P: MessagePlane> IndLru<P> {
 
 impl<P: MessagePlane> MultiLevelPolicy for IndLru<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; the
         // allocation-free path is access_into.
         let mut out = AccessOutcome::miss(self.num_levels() - 1);
         self.access_into(client, block, &mut out);

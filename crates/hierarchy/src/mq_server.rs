@@ -56,7 +56,6 @@ impl LruMqServer {
 
 impl MultiLevelPolicy for LruMqServer {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; the
         // allocation-free path is access_into.
         let mut out = AccessOutcome::miss(1);
         self.access_into(client, block, &mut out);

@@ -51,6 +51,7 @@ pub enum Direction {
 }
 
 /// One inter-level protocol message.
+// lint:exhaustive
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Message {
     /// `Demote(b, i, i+1)`: physically ship a replacement victim down
@@ -87,6 +88,7 @@ pub enum Message {
 }
 
 /// Outcome of a synchronous demand-read RPC across one link.
+// lint:exhaustive
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RpcFate {
     /// Request and reply both arrived.
@@ -229,7 +231,6 @@ pub trait MessagePlane: std::fmt::Debug {
     /// `Vec` never allocates, so on healthy ticks this is free; pooled
     /// callers still prefer the `_into` form for a uniform hot path.
     fn take_crashes(&mut self) -> Vec<usize> {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; empty Vec::new never allocates
         let mut out = Vec::new();
         self.take_crashes_into(&mut out);
         out
@@ -250,7 +251,6 @@ pub trait MessagePlane: std::fmt::Debug {
     /// fresh buffer per call, so steady-state hot paths should pool a
     /// [`DeliveryBatch`] and use the `_into` form instead.
     fn deliver(&mut self, link: usize, dir: Direction) -> Vec<Message> {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is deliver_into
         let mut batch = DeliveryBatch::new();
         self.deliver_into(link, dir, &mut batch);
         batch.into_vec()

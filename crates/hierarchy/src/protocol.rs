@@ -64,6 +64,7 @@ pub trait MultiLevelPolicy {
     ///
     /// The default forwards to [`MultiLevelPolicy::access`]; engines with
     /// an allocation-free path override it.
+    // lint:cold-path by-value fallback; zero-alloc engines override this and are checked via their overrides
     fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
         *out = self.access(client, block);
     }

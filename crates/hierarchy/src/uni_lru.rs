@@ -221,7 +221,6 @@ impl<P: MessagePlane> UniLru<P> {
                 }
             }
         }
-        // lint:allow(determinism) order-insensitive membership checks
         for (b, &owner) in self.demoted_by.iter() {
             assert!(
                 (owner as usize) < self.clients.len(),
@@ -356,6 +355,7 @@ impl<P: MessagePlane> UniLru<P> {
                     any = true;
                     // uniLRU's links carry only demotes; anything else is
                     // a foreign duplicate — ignore it.
+                    // lint:allow(plane-exhaustive) demotion is the only Down traffic in the uni-LRU hierarchy; foreign kinds are dropped by design
                     if let Message::Demote { block, mru, owner } = batch.as_slice()[k] {
                         self.apply_demote(j, block, mru, owner, demotions);
                     }
@@ -370,6 +370,7 @@ impl<P: MessagePlane> UniLru<P> {
 
     /// Wipes crashed levels (cold restart) and purges traffic destined
     /// for them.
+    // lint:cold-path crash recovery rebuilds whole caches; allocation is by design
     fn apply_crashes(&mut self) {
         let mut crashes = std::mem::take(&mut self.crash_buf);
         self.plane.take_crashes_into(&mut crashes);
@@ -469,7 +470,6 @@ impl<P: MessagePlane> UniLru<P> {
 
 impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
-        // lint:allow(hot-path-alloc) by-value compatibility shim; the
         // allocation-free path is access_into.
         let mut out = AccessOutcome::miss(self.num_levels() - 1);
         self.access_into(client, block, &mut out);

@@ -1,26 +1,37 @@
 //! `ulc-lint` — a self-contained static-analysis pass over the workspace.
 //!
-//! The repo's headline guarantee is bit-identical simulator output for a
-//! given trace and seed. That guarantee has source-level preconditions
-//! (no iteration over randomly-ordered containers, no wall-clock reads,
-//! no ambient RNG) which `rustc` does not check. This crate enforces
-//! them, plus panic/unsafe/doc hygiene, with a hand-rolled lexer — no
-//! crates.io dependencies, in the same spirit as the vendored stand-ins.
+//! The repo's headline guarantees — bit-identical deterministic replay,
+//! zero steady-state allocations per access, panic-free engine code —
+//! have source-level preconditions which `rustc` does not check. This
+//! crate enforces them with a hand-rolled multi-pass analyzer — no
+//! crates.io dependencies, in the same spirit as the vendored stand-ins:
 //!
 //! * [`lexer`] tokenises Rust source (tokens + comments, with lines);
-//! * [`rules`] implements the rule classes and the allowlist protocol;
+//! * [`parser`] extracts the item skeleton (`fn`/`impl`/`trait`/`struct`/
+//!   `enum` with spans, signatures and bodies);
+//! * [`graph`] builds the workspace symbol table and conservative call
+//!   graph, discovers the per-access roots and computes reachability;
+//! * [`rules`] implements the rule classes (per-file and
+//!   interprocedural) and the allowlist protocol;
+//! * [`baseline`] assigns stable fingerprints and implements the CI
+//!   diff gate (`--baseline`/`--write-baseline`);
 //! * [`lint_workspace`] walks `crates/*/src`, `src/` and `tests/` in
 //!   deterministic (sorted) order and returns every diagnostic.
 //!
 //! The `ulc-lint` binary prints `path:line: [rule] message` lines and
 //! exits non-zero if anything is flagged; `--json=PATH` additionally
-//! writes a machine-readable report for CI.
+//! writes a machine-readable report for CI, and `--baseline=PATH` turns
+//! the wall into a diff gate that fails only on new findings.
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
+use graph::FileUnit;
 use serde::Serialize;
 use std::fs;
 use std::io;
@@ -35,32 +46,55 @@ pub struct Diagnostic {
     pub line: usize,
     /// Rule name (one of [`rules::ALL_RULES`]).
     pub rule: String,
-    /// Human-readable explanation.
+    /// Human-readable explanation (interprocedural findings embed the
+    /// call-chain trace from the per-access root).
     pub message: String,
+    /// Stable identity for the baseline diff gate (see [`baseline`]);
+    /// empty until assigned by the pipeline.
+    pub fingerprint: String,
 }
 
 impl Diagnostic {
-    /// Builds a diagnostic; used by the rule implementations.
+    /// Builds a diagnostic; used by the rule implementations. The
+    /// fingerprint starts empty and is assigned by the pipeline.
     pub fn new(file: &str, line: usize, rule: &str, message: &str) -> Self {
         Diagnostic {
             file: file.to_string(),
             line,
             rule: rule.to_string(),
             message: message.to_string(),
+            fingerprint: String::new(),
         }
     }
 }
 
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
     }
 }
 
-/// Lints one source string under the rule set for `kind`. `path` labels
-/// the diagnostics and is not opened.
+/// Lints one source string under the rule set for `kind`, through the
+/// full pipeline (the file stands alone as its own workspace). `path`
+/// labels the diagnostics and is not opened.
 pub fn lint_source(path: &str, src: &str, kind: rules::FileKind) -> Vec<Diagnostic> {
     rules::check_source(path, src, kind)
+}
+
+/// Lints a set of already-loaded files as one workspace: the call graph
+/// spans all of them, so a per-access root in one file reaches helpers
+/// in every other. This is the multi-file entry point the fixture suite
+/// drives directly.
+pub fn lint_files(files: &[(String, String, rules::FileKind)]) -> Vec<Diagnostic> {
+    let units: Vec<FileUnit> = files
+        .iter()
+        .map(|(path, src, kind)| FileUnit::new(path, src, *kind))
+        .collect();
+    rules::lint_units(&units)
 }
 
 /// Directories under the workspace root that are never linted: vendored
@@ -98,11 +132,10 @@ fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints the whole workspace rooted at `root` and returns every
-/// diagnostic, sorted by file then line. Vendored crates, build output
-/// and the fixture suite are skipped.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+/// Loads every lintable file under `root` into analysis units. Vendored
+/// crates, build output and the fixture suite are skipped.
+pub fn load_workspace_units(root: &Path) -> io::Result<Vec<FileUnit>> {
+    let mut units = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -111,10 +144,16 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .replace('\\', "/");
         let src = fs::read_to_string(&path)?;
         let kind = rules::FileKind::classify(&rel);
-        diags.extend(rules::check_source(&rel, &src, kind));
+        units.push(FileUnit::new(&rel, &src, kind));
     }
-    diags.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
-    Ok(diags)
+    Ok(units)
+}
+
+/// Lints the whole workspace rooted at `root` and returns every
+/// diagnostic, sorted by file then line, with fingerprints assigned.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let units = load_workspace_units(root)?;
+    Ok(rules::lint_units(&units))
 }
 
 #[cfg(test)]
@@ -133,5 +172,29 @@ mod tests {
         let s = serde_json::to_string(&d).expect("serializable");
         assert!(s.contains("\"file\""), "{s}");
         assert!(s.contains("determinism"), "{s}");
+        assert!(s.contains("\"fingerprint\""), "{s}");
+    }
+
+    #[test]
+    fn lint_files_connects_the_graph_across_files() {
+        let files = vec![
+            (
+                "crates/a/src/root.rs".to_string(),
+                "fn access_into(b: u32) { helper(b); }\n".to_string(),
+                rules::FileKind::Library,
+            ),
+            (
+                "crates/b/src/helper.rs".to_string(),
+                "pub fn helper(b: u32) { let v = vec![b]; let _ = v; }\n".to_string(),
+                rules::FileKind::Library,
+            ),
+        ];
+        let d: Vec<_> = lint_files(&files)
+            .into_iter()
+            .filter(|d| d.rule == rules::RULE_HOT_PATH_ALLOC)
+            .collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/b/src/helper.rs");
+        assert!(!d[0].fingerprint.is_empty());
     }
 }

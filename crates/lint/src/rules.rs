@@ -1,7 +1,7 @@
-//! The lint rules, the allowlist protocol and the per-file driver.
+//! The lint rules, the allowlist protocol and the analysis pipeline.
 //!
-//! Six rule classes guard the repo's headline guarantees (see DESIGN.md
-//! §5c):
+//! Nine rule classes guard the repo's headline guarantees (DESIGN.md §5c
+//! and §5g):
 //!
 //! * [`RULE_DETERMINISM`] — no iteration over `HashMap`/`HashSet` (their
 //!   order is seeded per-process, so any result derived from it breaks
@@ -15,20 +15,33 @@
 //! * [`RULE_PANIC`] — library code must not `unwrap()`, use `expect`
 //!   without a message, or `panic!`/`unreachable!`/`todo!`/
 //!   `unimplemented!`; the sanctioned form for unreachable states is
-//!   `expect("invariant: …")` with a string-literal message;
+//!   `expect("invariant: …")` with a string-literal message. Sites that
+//!   are *reachable from a per-access root* additionally carry the full
+//!   call-chain trace in their message;
 //! * [`RULE_DOCS`] — public items in library code need doc comments;
 //! * [`RULE_HOT_PATH_MAP`] — the simulation hot-path modules listed in
 //!   [`HOT_PATH_MODULES`] must not reintroduce `std::collections`
 //!   `HashMap`/`HashSet` (SipHash per operation): per-block state belongs
 //!   in `ulc_trace::BlockMap` dense tables or vendored `FxHashMap`
 //!   (see DESIGN.md §5e);
-//! * [`RULE_HOT_PATH_ALLOC`] — the per-access function bodies of the
-//!   scratch-engine modules in [`HOT_ALLOC_MODULES`] must not heap
+//! * [`RULE_HOT_PATH_ALLOC`] — *interprocedural*: no function reachable
+//!   from a per-access root (`access_into`/`deliver_into`/
+//!   `take_crashes_into` bodies, plus `// lint:hot-root` marks) may heap
 //!   allocate (`Vec::new`, `vec!`, `.clone()`, `.to_vec()`, `.collect()`
-//!   and friends): variable-length side effects go through the reusable
-//!   `AccessScratch`/`DeliveryBatch` pools so the steady state performs
-//!   zero allocations per access (see DESIGN.md §5f). By-value
-//!   compatibility wrappers justify themselves with an allow comment.
+//!   and friends), no matter how many modules away it lives. Variable
+//!   -length side effects go through the reusable `AccessScratch`/
+//!   `DeliveryBatch` pools (DESIGN.md §5f). Diagnostics carry the call
+//!   chain from the root to the allocation site. `// lint:cold-path
+//!   reason` prunes deliberate non-steady-state code (crash recovery)
+//!   from the traversal;
+//! * [`RULE_DEAD_ALLOW`] — a `lint:allow`/`lint:allow-file` comment that
+//!   suppresses no diagnostic is stale and must be removed, so the
+//!   allowlist stays an accurate inventory of justified exceptions;
+//! * [`RULE_PLANE_EXHAUSTIVE`] — enums marked `// lint:exhaustive` (the
+//!   plane's `Message` and `RpcFate`) must be matched exhaustively in
+//!   every delivery handler (a function calling `deliver`/`deliver_into`/
+//!   `rpc`): a handler naming a strict subset of the variants with no
+//!   `_ =>` arm silently drops the rest on the floor.
 //!
 //! A diagnostic is suppressed by an allowlist comment on the same line or
 //! the line above the offending code:
@@ -40,11 +53,16 @@
 //!
 //! `// lint:allow-file(<rule>) reason` suppresses a rule for the whole
 //! file. A reason is mandatory; a malformed or reason-less allow comment
-//! is itself reported under the `allow-syntax` rule.
+//! is itself reported under the `allow-syntax` rule, and an allow that
+//! suppresses nothing is reported under `dead-allow`.
 
-use crate::lexer::{lex, Comment, CommentStyle, LexedFile, Token, TokenKind};
+use crate::graph::{
+    governed, marked, CallGraph, FileUnit, Reachability, COLD_PATH_MARKER, HOT_ROOT_MARKER,
+};
+use crate::lexer::{Comment, CommentStyle, LexedFile, Token, TokenKind};
+use crate::parser::test_token_mask;
 use crate::Diagnostic;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Rule name: deterministic-iteration and wall-clock/ambient-RNG hygiene.
 pub const RULE_DETERMINISM: &str = "determinism";
@@ -54,15 +72,19 @@ pub const RULE_UNSAFE: &str = "unsafe-comment";
 pub const RULE_PANIC: &str = "panic";
 /// Rule name: doc coverage of public items.
 pub const RULE_DOCS: &str = "missing-docs";
-/// Rule name: malformed allowlist comments.
+/// Rule name: malformed allowlist comments and dangling markers.
 pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
 /// Rule name: std hash tables in simulation hot-path modules.
 pub const RULE_HOT_PATH_MAP: &str = "hot-path-map";
-/// Rule name: heap allocation in per-access scratch-engine functions.
+/// Rule name: heap allocation reachable from a per-access root.
 pub const RULE_HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// Rule name: allow comments that suppress nothing.
+pub const RULE_DEAD_ALLOW: &str = "dead-allow";
+/// Rule name: non-exhaustive plane-message handling.
+pub const RULE_PLANE_EXHAUSTIVE: &str = "plane-exhaustive";
 
 /// Every rule the pass knows, in reporting order.
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 9] = [
     RULE_DETERMINISM,
     RULE_UNSAFE,
     RULE_PANIC,
@@ -70,7 +92,74 @@ pub const ALL_RULES: [&str; 7] = [
     RULE_ALLOW_SYNTAX,
     RULE_HOT_PATH_MAP,
     RULE_HOT_PATH_ALLOC,
+    RULE_DEAD_ALLOW,
+    RULE_PLANE_EXHAUSTIVE,
 ];
+
+/// Marker comment that places the next enum under the
+/// [`RULE_PLANE_EXHAUSTIVE`] contract. Put it directly above the enum's
+/// attributes (after the doc comment).
+pub const EXHAUSTIVE_MARKER: &str = "lint:exhaustive";
+
+/// One-paragraph explanation per rule, for `--explain=RULE`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    match rule {
+        RULE_DETERMINISM => Some(
+            "Simulator output must be bit-identical for a given trace and seed. \
+             Iterating a HashMap/HashSet observes per-process SipHash order, and \
+             Instant/SystemTime/thread_rng/rand::random/from_entropy/OsRng read \
+             ambient state; both make replays diverge. Use BTreeMap/sorted keys \
+             and explicit seeding (StdRng::seed_from_u64).",
+        ),
+        RULE_UNSAFE => Some(
+            "Every `unsafe` token needs a `// SAFETY:` comment on the preceding \
+             lines stating the invariant that makes it sound.",
+        ),
+        RULE_PANIC => Some(
+            "Library code must not unwrap(), call expect without a string-literal \
+             message, or use panic!/unreachable!/todo!/unimplemented!. The \
+             sanctioned form for invariant violations is expect(\"invariant: …\"). \
+             A site reachable from a per-access root also prints the call chain \
+             from the root, since a panic there kills the simulation mid-access.",
+        ),
+        RULE_DOCS => Some("Public items in library code need doc comments (rustdoc surface)."),
+        RULE_ALLOW_SYNTAX => Some(
+            "lint:allow(<rule>) / lint:allow-file(<rule>) comments need a known \
+             rule name and a non-empty reason; lint:cold-path needs a reason and \
+             lint:hot-root/lint:cold-path/lint:exhaustive markers must sit on or \
+             directly above the item they govern.",
+        ),
+        RULE_HOT_PATH_MAP => Some(
+            "The per-reference hot-path modules must not use std HashMap/HashSet \
+             (SipHash per operation): per-block state belongs in ulc_trace::BlockMap \
+             dense tables or the vendored FxHashMap (DESIGN.md §5e).",
+        ),
+        RULE_HOT_PATH_ALLOC => Some(
+            "Zero steady-state allocations per access (DESIGN.md §5f): no function \
+             transitively reachable from a per-access root — access_into/\
+             deliver_into/take_crashes_into bodies plus // lint:hot-root marks — \
+             may heap allocate. The diagnostic prints the call chain from the root \
+             to the allocation site. Route variable-length side effects through \
+             the pooled AccessScratch/DeliveryBatch buffers, or prune deliberate \
+             non-steady-state code (crash recovery) with // lint:cold-path reason.",
+        ),
+        RULE_DEAD_ALLOW => Some(
+            "An allow comment that suppresses no diagnostic is stale: either the \
+             violation it justified is gone (delete the comment) or it never \
+             matched (fix its placement). Keeping the allowlist live means every \
+             surviving allow documents a real, current exception.",
+        ),
+        RULE_PLANE_EXHAUSTIVE => Some(
+            "Enums marked // lint:exhaustive (the plane's Message and RpcFate) \
+             must be handled exhaustively in every delivery handler (a fn calling \
+             deliver/deliver_into/rpc). A handler naming a strict subset of the \
+             variants with no `_ =>` arm silently drops the others — exactly how \
+             a new message type rots into a lost-update bug. Add arms, a `_ =>` \
+             catch-all, or an allow comment stating why the subset is right.",
+        ),
+        _ => None,
+    }
+}
 
 /// Per-reference hot-path modules of the simulation engine: code here
 /// runs for every trace record, so per-block state must use interned
@@ -93,64 +182,6 @@ pub const HOT_PATH_MODULES: [&str; 10] = [
 fn is_hot_path(path: &str) -> bool {
     let p = path.replace('\\', "/");
     HOT_PATH_MODULES.iter().any(|m| p.ends_with(m))
-}
-
-/// Modules under the zero-allocation steady-state contract (DESIGN.md
-/// §5f): the protocol engines and message planes whose per-access paths
-/// route every variable-length side effect through a caller-owned
-/// `AccessScratch`, `AccessOutcome` or `DeliveryBatch` pool. Heap
-/// allocation inside their per-access functions ([`HOT_ALLOC_FNS`]) is a
-/// contract violation; the throughput harness gates the same property
-/// dynamically via the `alloc_stats` counting allocator. Matched as path
-/// suffixes. The generic cache policy structs (`crates/cache`) are
-/// exempt: their `K: Clone` keys are `Copy` on the simulation path, and
-/// they are not part of the gated engines.
-pub const HOT_ALLOC_MODULES: [&str; 10] = [
-    "crates/core/src/stack.rs",
-    "crates/core/src/scratch.rs",
-    "crates/core/src/single.rs",
-    "crates/core/src/multi.rs",
-    "crates/hierarchy/src/uni_lru.rs",
-    "crates/hierarchy/src/ind_lru.rs",
-    "crates/hierarchy/src/eviction_based.rs",
-    "crates/hierarchy/src/mq_server.rs",
-    "crates/hierarchy/src/demotion_buffer.rs",
-    "crates/hierarchy/src/plane.rs",
-];
-
-/// Per-access entry points whose bodies the [`RULE_HOT_PATH_ALLOC`] rule
-/// scans. Covers the access path itself, its demotion/eviction cascade,
-/// and the steady-state message pumping. Deliberately excludes the
-/// crash-recovery path (`apply_crashes`, `reconcile*`, `repair_*`):
-/// rebuilding state after an injected crash allocates by design and is
-/// not steady state.
-const HOT_ALLOC_FNS: [&str; 20] = [
-    "access",
-    "access_into",
-    "cascade",
-    "trim",
-    "reset",
-    "note_temp_lru",
-    "pump",
-    "apply_demote",
-    "apply_directive",
-    "apply_effect",
-    "apply_replacement",
-    "drain_server_inbox",
-    "deliver_notices",
-    "apply_reload_orders",
-    "send",
-    "deliver",
-    "deliver_into",
-    "take_crashes",
-    "take_crashes_into",
-    "enqueue",
-];
-
-/// Whether `path` names one of the [`HOT_ALLOC_MODULES`].
-fn is_hot_alloc_path(path: &str) -> bool {
-    let p = path.replace('\\', "/");
-    HOT_ALLOC_MODULES.iter().any(|m| p.ends_with(m))
 }
 
 /// How a file participates in the rule set.
@@ -219,46 +250,134 @@ const ITEM_KEYWORDS: [&str; 9] = [
 
 /// One parsed allowlist comment.
 #[derive(Clone, Debug)]
-struct Allow {
-    rule: String,
-    whole_file: bool,
-    /// Diagnostics on these lines are suppressed (empty for whole-file).
-    lines: (usize, usize),
+pub struct Allow {
+    /// The rule this comment suppresses.
+    pub rule: String,
+    /// `lint:allow-file` form: suppresses the rule everywhere in the file.
+    pub whole_file: bool,
+    /// Diagnostics on these lines are suppressed (ignored for whole-file).
+    pub lines: (usize, usize),
+    /// Line of the comment itself — where `dead-allow` reports.
+    pub line: usize,
 }
 
-/// Lints one file's source text. `path` is used only for labelling
-/// diagnostics; `kind` decides which rules run.
-pub fn check_source(path: &str, src: &str, kind: FileKind) -> Vec<Diagnostic> {
-    let file = lex(src);
+/// The pre-suppression output of the per-file rules on one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Raw diagnostics, before allow suppression.
+    pub diags: Vec<Diagnostic>,
+    /// The file's parsed allow comments, in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Runs every per-file rule on one file. Suppression happens later, in
+/// [`lint_units`], so the `dead-allow` rule can see which allows matched.
+pub fn analyze_file(unit: &FileUnit) -> FileAnalysis {
+    let file = &unit.lexed;
+    let path = unit.path.as_str();
     let in_test = test_token_mask(&file.tokens);
     let mut diags = Vec::new();
 
     let (allows, mut allow_diags) = parse_allows(path, &file.comments);
     diags.append(&mut allow_diags);
+    marker_syntax_rule(unit, &mut diags);
 
-    if matches!(kind, FileKind::Library | FileKind::Binary) {
+    if matches!(unit.kind, FileKind::Library | FileKind::Binary) {
         determinism_rule(path, &file, &in_test, &mut diags);
     }
     unsafe_rule(path, &file, &mut diags);
-    if kind == FileKind::Library {
+    if unit.kind == FileKind::Library {
         panic_rule(path, &file, &in_test, &mut diags);
         docs_rule(path, &file, &in_test, &mut diags);
         if is_hot_path(path) {
             hot_path_map_rule(path, &file, &in_test, &mut diags);
         }
-        if is_hot_alloc_path(path) {
-            hot_path_alloc_rule(path, &file, &in_test, &mut diags);
-        }
+    }
+    FileAnalysis { diags, allows }
+}
+
+/// The full analysis pipeline over a set of files: per-file rules, the
+/// interprocedural reachability rules over the workspace call graph,
+/// allow suppression with liveness tracking, and `dead-allow` reporting.
+/// Returns the surviving diagnostics sorted by file, line and rule, with
+/// stable fingerprints assigned.
+pub fn lint_units(units: &[FileUnit]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut allows_by_file: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
+    for u in units {
+        let a = analyze_file(u);
+        diags.extend(a.diags);
+        allows_by_file.insert(u.path.clone(), a.allows);
     }
 
-    diags.retain(|d| {
-        d.rule == RULE_ALLOW_SYNTAX
-            || !allows.iter().any(|a| {
-                a.rule == d.rule && (a.whole_file || (a.lines.0 <= d.line && d.line <= a.lines.1))
-            })
-    });
-    diags.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    let graph = CallGraph::build(units);
+    let reach = graph.reachable();
+    interprocedural_alloc_rule(units, &graph, &reach, &mut diags);
+    plane_exhaustive_rule(units, &mut diags);
+    annotate_reachable_panics(units, &graph, &reach, &mut diags);
+
+    // Suppression with liveness tracking: an allow is live iff it hides
+    // at least one diagnostic.
+    let mut used: BTreeMap<String, Vec<bool>> = allows_by_file
+        .iter()
+        .map(|(f, a)| (f.clone(), vec![false; a.len()]))
+        .collect();
+    let suppress = |d: &Diagnostic, used: &mut BTreeMap<String, Vec<bool>>| -> bool {
+        let Some(allows) = allows_by_file.get(&d.file) else {
+            return false;
+        };
+        let mut hit = false;
+        for (i, a) in allows.iter().enumerate() {
+            if a.rule == d.rule && (a.whole_file || (a.lines.0 <= d.line && d.line <= a.lines.1)) {
+                hit = true;
+                if let Some(u) = used.get_mut(&d.file) {
+                    u[i] = true;
+                }
+            }
+        }
+        hit
+    };
+    diags.retain(|d| d.rule == RULE_ALLOW_SYNTAX || !suppress(d, &mut used));
+
+    // Dead allows: library and binary files only — test files share the
+    // allow syntax but run almost no rules, so their allows are prose.
+    let mut dead = Vec::new();
+    for u in units {
+        if u.kind == FileKind::Test {
+            continue;
+        }
+        let (Some(allows), Some(live)) = (allows_by_file.get(&u.path), used.get(&u.path)) else {
+            continue;
+        };
+        for (a, &was_used) in allows.iter().zip(live) {
+            if !was_used {
+                dead.push(Diagnostic::new(
+                    &u.path,
+                    a.line,
+                    RULE_DEAD_ALLOW,
+                    &format!(
+                        "`lint:allow{}({})` suppresses no diagnostic; remove the stale comment",
+                        if a.whole_file { "-file" } else { "" },
+                        a.rule
+                    ),
+                ));
+            }
+        }
+    }
+    dead.retain(|d| !suppress(d, &mut used));
+    diags.extend(dead);
+
+    diags.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    crate::baseline::assign_fingerprints(&mut diags);
     diags
+}
+
+/// Lints one file's source text through the full pipeline (including the
+/// interprocedural rules, with the file as the whole workspace). `path`
+/// labels the diagnostics and is not opened; `kind` decides which rules
+/// run.
+pub fn check_source(path: &str, src: &str, kind: FileKind) -> Vec<Diagnostic> {
+    lint_units(&[FileUnit::new(path, src, kind)])
 }
 
 /// Parses `lint:allow(...)` comments; returns the allows plus syntax
@@ -321,80 +440,56 @@ fn parse_allows(path: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnostic
             // Covers its own line (trailing style) and the next (banner
             // style above the offending statement).
             lines: (c.line, c.end_line + 1),
+            line: c.line,
         });
     }
     (allows, diags)
 }
 
-/// Marks every token inside a `#[cfg(test)]` or `#[test]` item, so the
-/// in-library test modules and unit tests are exempt from the library
-/// rules, exactly like files under `tests/`.
-fn test_token_mask(tokens: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
-            let attr_end = match matching(tokens, i + 1, '[', ']') {
-                Some(e) => e,
-                None => break,
-            };
-            let body = &tokens[i + 2..attr_end];
-            let is_test_attr = (body.len() == 1 && body[0].is_ident("test"))
-                || (body.first().is_some_and(|t| t.is_ident("cfg"))
-                    && body.iter().any(|t| t.is_ident("test")));
-            if is_test_attr {
-                // The attribute governs the next item: everything through
-                // the item's closing brace (or terminating semicolon).
-                let mut j = attr_end + 1;
-                // Skip further attributes on the same item.
-                while j < tokens.len()
-                    && tokens[j].is_punct('#')
-                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
-                {
-                    match matching(tokens, j + 1, '[', ']') {
-                        Some(e) => j = e + 1,
-                        None => return mask,
-                    }
-                }
-                let mut end = tokens.len() - 1;
-                for (k, t) in tokens.iter().enumerate().skip(j) {
-                    if t.is_punct(';') {
-                        end = k;
-                        break;
-                    }
-                    if t.is_punct('{') {
-                        end = matching(tokens, k, '{', '}').unwrap_or(tokens.len() - 1);
-                        break;
-                    }
-                }
-                for m in mask.iter_mut().take(end + 1).skip(i) {
-                    *m = true;
-                }
-                i = end + 1;
-                continue;
-            }
-            i = attr_end + 1;
+/// Validates the graph markers: `lint:hot-root` and `lint:cold-path`
+/// must govern a function (same line or within three lines above it),
+/// `lint:cold-path` needs a reason, and `lint:exhaustive` must govern an
+/// enum. A dangling marker silently changes nothing — that is exactly
+/// the failure mode worth a diagnostic.
+fn marker_syntax_rule(unit: &FileUnit, diags: &mut Vec<Diagnostic>) {
+    for c in &unit.lexed.comments {
+        let text = c.text.trim();
+        let (marker, wants_fn) = if text.starts_with(COLD_PATH_MARKER) {
+            (COLD_PATH_MARKER, true)
+        } else if text.starts_with(HOT_ROOT_MARKER) {
+            (HOT_ROOT_MARKER, true)
+        } else if text.starts_with(EXHAUSTIVE_MARKER) {
+            (EXHAUSTIVE_MARKER, false)
+        } else {
             continue;
+        };
+        if marker == COLD_PATH_MARKER && text[COLD_PATH_MARKER.len()..].trim().is_empty() {
+            diags.push(Diagnostic::new(
+                &unit.path,
+                c.line,
+                RULE_ALLOW_SYNTAX,
+                "`lint:cold-path` weakens the zero-alloc contract and needs a reason",
+            ));
         }
-        i += 1;
-    }
-    mask
-}
-
-/// Index of the punct closing the group opened at `open_idx`, or `None`.
-fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
-    let mut depth = 0usize;
-    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
-        if t.is_punct(open) {
-            depth += 1;
-        } else if t.is_punct(close) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(k);
-            }
+        let anchor = [(c.line, c.end_line)];
+        let bound = if wants_fn {
+            unit.parsed.fns.iter().any(|f| marked(&anchor, f.line))
+        } else {
+            unit.parsed.enums.iter().any(|e| marked(&anchor, e.line))
+        };
+        if !bound {
+            diags.push(Diagnostic::new(
+                &unit.path,
+                c.line,
+                RULE_ALLOW_SYNTAX,
+                &format!(
+                    "dangling `{marker}` marker: no {} starts on this line or within \
+                     three lines below",
+                    if wants_fn { "function" } else { "enum" }
+                ),
+            ));
         }
     }
-    None
 }
 
 /// Names bound to `HashMap`/`HashSet` values in this file: struct fields,
@@ -413,10 +508,7 @@ fn map_typed_names(tokens: &[Token]) -> BTreeSet<String> {
             let prev = &tokens[j - 1];
             if prev.is_punct('&') || prev.is_ident("mut") || prev.kind == TokenKind::Lifetime {
                 j -= 1;
-            } else if prev.is_punct(':')
-                && j >= 2
-                && tokens[j - 2].is_punct(':')
-            {
+            } else if prev.is_punct(':') && j >= 2 && tokens[j - 2].is_punct(':') {
                 // `std::collections::HashMap` — step over the whole path.
                 j -= 2;
                 while j > 0 && tokens[j - 1].kind == TokenKind::Ident {
@@ -458,7 +550,10 @@ fn determinism_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut 
                     path,
                     t.line,
                     RULE_DETERMINISM,
-                    &format!("`{}` reads the wall clock; simulator outputs must not depend on it", t.text),
+                    &format!(
+                        "`{}` reads the wall clock; simulator outputs must not depend on it",
+                        t.text
+                    ),
                 ));
             }
             continue;
@@ -494,7 +589,9 @@ fn determinism_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut 
             && tokens[i - 1].is_punct(':')
             && tokens[i - 2].is_punct(':')
             && tokens[i - 3].is_ident("rand")
-            && tokens.get(i + 1).is_some_and(|n| n.is_punct('(') || n.is_punct(':'))
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('(') || n.is_punct(':'))
         {
             diags.push(Diagnostic::new(
                 path,
@@ -598,101 +695,245 @@ fn hot_path_map_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut
     }
 }
 
-/// Allocating methods (called as `.name(...)`) forbidden inside hot-path
-/// per-access bodies.
+/// Allocating methods (called as `.name(...)`) forbidden on the per-access
+/// call tree.
 const ALLOC_METHODS: [&str; 5] = ["clone", "to_vec", "to_owned", "to_string", "collect"];
 
 /// Owner types whose `new`/`with_capacity`/`from` constructors allocate.
 const ALLOC_TYPES: [&str; 4] = ["Vec", "VecDeque", "Box", "String"];
 
-/// Flags heap allocation inside the per-access functions
-/// ([`HOT_ALLOC_FNS`]) of the scratch-engine modules
-/// ([`HOT_ALLOC_MODULES`]): allocating method calls, `vec!`/`format!`
-/// invocations and allocating constructors. The by-value compatibility
-/// wrappers (`access`, `deliver`, `take_crashes`) keep their allocations
-/// behind `lint:allow(hot-path-alloc)` comments naming the `_into`
-/// replacement, so the rule also documents where the allocation-free
-/// path lives.
-fn hot_path_alloc_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Diagnostic>) {
-    let tokens = &file.tokens;
-    let mut i = 0;
-    while i < tokens.len() {
-        if in_test[i] || !tokens[i].is_ident("fn") {
-            i += 1;
+/// Allocation sites inside `tokens[bo..=bc]` as `(line, description)`:
+/// allocating method calls, `vec!`/`format!` invocations and allocating
+/// constructors.
+fn alloc_sites(tokens: &[Token], bo: usize, bc: usize) -> Vec<(usize, String)> {
+    let mut sites = Vec::new();
+    for k in bo + 1..bc {
+        let x = &tokens[k];
+        if x.kind != TokenKind::Ident {
             continue;
         }
-        let Some(name) = tokens.get(i + 1) else { break };
-        if !HOT_ALLOC_FNS.contains(&name.text.as_str()) {
-            i += 1;
-            continue;
+        let next_is = |p: char| tokens.get(k + 1).is_some_and(|t| t.is_punct(p));
+        if tokens[k - 1].is_punct('.') && next_is('(') && ALLOC_METHODS.contains(&x.text.as_str()) {
+            sites.push((x.line, format!(".{}()", x.text)));
+        } else if (x.is_ident("vec") || x.is_ident("format")) && next_is('!') {
+            sites.push((x.line, format!("{}!", x.text)));
+        } else if ALLOC_TYPES.contains(&x.text.as_str())
+            && next_is(':')
+            && tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(k + 3).is_some_and(|m| {
+                m.is_ident("new") || m.is_ident("with_capacity") || m.is_ident("from")
+            })
+        {
+            sites.push((x.line, format!("{}::{}", x.text, tokens[k + 3].text)));
         }
-        // Find the body's opening brace; a `;` first means a trait
-        // method without a default body — nothing to scan.
-        let mut j = i + 2;
-        let open = loop {
-            match tokens.get(j) {
-                None => break None,
-                Some(x) if x.is_punct(';') => break None,
-                Some(x) if x.is_punct('{') => break Some(j),
-                Some(_) => j += 1,
-            }
-        };
-        let Some(open_idx) = open else {
-            i += 2;
-            continue;
-        };
-        let close_idx = matching(tokens, open_idx, '{', '}').unwrap_or(tokens.len() - 1);
-        for k in open_idx + 1..close_idx {
-            let x = &tokens[k];
-            if x.kind != TokenKind::Ident {
+    }
+    sites
+}
+
+/// Renders a discovery chain as `root (file:line) → … → leaf (file:line)`.
+fn format_chain(hops: &[(String, String, usize)]) -> String {
+    let parts: Vec<String> = hops
+        .iter()
+        .map(|(label, file, line)| format!("{label} ({file}:{line})"))
+        .collect();
+    parts.join(" → ")
+}
+
+/// The interprocedural zero-allocation rule: scans the body of every
+/// function reachable from a per-access root for allocation sites and
+/// reports each with the full call chain from the root (DESIGN.md §5g).
+fn interprocedural_alloc_rule(
+    units: &[FileUnit],
+    graph: &CallGraph,
+    reach: &Reachability,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut seen = BTreeSet::new();
+    for &id in &reach.order {
+        let node = &graph.nodes[id];
+        let unit = &units[node.file];
+        let chain = graph.chain(units, reach, id);
+        for (line, desc) in alloc_sites(&unit.lexed.tokens, node.body.0, node.body.1) {
+            if !seen.insert((node.file, line, desc.clone())) {
                 continue;
             }
-            let next_is = |p: char| tokens.get(k + 1).is_some_and(|t| t.is_punct(p));
-            if tokens[k - 1].is_punct('.') && next_is('(') && ALLOC_METHODS.contains(&x.text.as_str())
-            {
-                diags.push(Diagnostic::new(
-                    path,
-                    x.line,
-                    RULE_HOT_PATH_ALLOC,
-                    &format!(
-                        "`.{}()` allocates inside per-access fn `{}`; write into the \
-                         reusable scratch/outcome pool instead (DESIGN.md §5f)",
-                        x.text, name.text
-                    ),
+            diags.push(Diagnostic::new(
+                &unit.path,
+                line,
+                RULE_HOT_PATH_ALLOC,
+                &format!(
+                    "`{desc}` allocates on a per-access path: {} → `{desc}` ({}:{line}); \
+                     route it through the pooled scratch/outcome buffers (DESIGN.md §5f, §5g)",
+                    format_chain(&chain),
+                    unit.path,
+                ),
+            ));
+        }
+    }
+}
+
+/// Handler-marking call names for the [`RULE_PLANE_EXHAUSTIVE`] rule.
+const DELIVERY_CALLS: [&str; 3] = ["deliver", "deliver_into", "rpc"];
+
+/// The plane-exhaustiveness rule: every enum marked `lint:exhaustive`
+/// must be fully handled in each delivery handler that names any of its
+/// variants; a bare `_ =>` arm anywhere in the handler counts as the
+/// catch-all.
+fn plane_exhaustive_rule(units: &[FileUnit], diags: &mut Vec<Diagnostic>) {
+    let mut watched: Vec<(String, Vec<String>)> = Vec::new();
+    for u in units {
+        let marks: Vec<(usize, usize)> = u
+            .lexed
+            .comments
+            .iter()
+            .filter(|c| c.text.trim().starts_with(EXHAUSTIVE_MARKER))
+            .map(|c| (c.line, c.end_line))
+            .collect();
+        if marks.is_empty() {
+            continue;
+        }
+        let enum_lines: Vec<usize> = u.parsed.enums.iter().map(|e| e.line).collect();
+        let gov = governed(&marks, &enum_lines);
+        for e in &u.parsed.enums {
+            if gov.contains(&e.line) {
+                watched.push((
+                    e.name.clone(),
+                    e.variants.iter().map(|(v, _)| v.clone()).collect(),
                 ));
-            } else if (x.is_ident("vec") || x.is_ident("format")) && next_is('!') {
+            }
+        }
+    }
+    if watched.is_empty() {
+        return;
+    }
+    for u in units {
+        if u.kind != FileKind::Library {
+            continue;
+        }
+        let tokens = &u.lexed.tokens;
+        for f in &u.parsed.fns {
+            let Some((bo, bc)) = f.body else { continue };
+            if f.in_test {
+                continue;
+            }
+            let mut is_handler = false;
+            let mut wildcard = false;
+            for k in bo + 1..bc {
+                let t = &tokens[k];
+                if t.kind == TokenKind::Ident
+                    && DELIVERY_CALLS.contains(&t.text.as_str())
+                    && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    is_handler = true;
+                }
+                // `_ =>` or a bare lowercase binding arm (`fate => …`,
+                // after `{`, `}` or `,`) catches every variant.
+                if tokens.get(k + 1).is_some_and(|n| n.is_punct('='))
+                    && tokens.get(k + 2).is_some_and(|n| n.is_punct('>'))
+                {
+                    let binding = t.kind == TokenKind::Ident
+                        && t.text.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                        && (tokens[k - 1].is_punct('{')
+                            || tokens[k - 1].is_punct('}')
+                            || tokens[k - 1].is_punct(','));
+                    if t.is_ident("_") || binding {
+                        wildcard = true;
+                    }
+                }
+            }
+            if !is_handler || wildcard {
+                continue;
+            }
+            for (ename, variants) in &watched {
+                let mut mentioned = BTreeSet::new();
+                let mut first_line = None;
+                for k in bo + 1..bc {
+                    if tokens[k].is_ident(ename)
+                        && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                        && tokens.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                    {
+                        if let Some(v) = tokens.get(k + 3) {
+                            if variants.iter().any(|x| v.is_ident(x)) {
+                                mentioned.insert(v.text.clone());
+                                first_line.get_or_insert(tokens[k].line);
+                            }
+                        }
+                    }
+                }
+                if mentioned.is_empty() || mentioned.len() == variants.len() {
+                    continue;
+                }
+                let missing: Vec<&str> = variants
+                    .iter()
+                    .filter(|v| !mentioned.contains(*v))
+                    .map(|v| v.as_str())
+                    .collect();
                 diags.push(Diagnostic::new(
-                    path,
-                    x.line,
-                    RULE_HOT_PATH_ALLOC,
+                    &u.path,
+                    first_line.unwrap_or(f.line),
+                    RULE_PLANE_EXHAUSTIVE,
                     &format!(
-                        "`{}!` allocates inside per-access fn `{}`; reuse a pooled \
-                         buffer instead (DESIGN.md §5f)",
-                        x.text, name.text
-                    ),
-                ));
-            } else if ALLOC_TYPES.contains(&x.text.as_str())
-                && next_is(':')
-                && tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
-                && tokens.get(k + 3).is_some_and(|m| {
-                    m.is_ident("new") || m.is_ident("with_capacity") || m.is_ident("from")
-                })
-            {
-                diags.push(Diagnostic::new(
-                    path,
-                    x.line,
-                    RULE_HOT_PATH_ALLOC,
-                    &format!(
-                        "`{}::{}` allocates inside per-access fn `{}`; hoist the buffer \
-                         into the engine and reuse it (DESIGN.md §5f)",
-                        x.text,
-                        tokens[k + 3].text,
-                        name.text
+                        "delivery handler `{}` names {} of `{ename}` but never `{}` and has \
+                         no `_ =>` arm; handle every variant or justify with an allow comment",
+                        f.name,
+                        mentioned
+                            .iter()
+                            .map(|v| format!("`{v}`"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        missing.join("`, `"),
                     ),
                 ));
             }
         }
-        i = close_idx + 1;
+    }
+}
+
+/// Appends the call chain from a per-access root to every panic
+/// diagnostic whose site sits inside a reachable function body: a panic
+/// there kills the simulation mid-access, so the trace shows exactly
+/// which entry point is exposed.
+fn annotate_reachable_panics(
+    units: &[FileUnit],
+    graph: &CallGraph,
+    reach: &Reachability,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let unit_of: BTreeMap<&str, usize> = units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.path.as_str(), i))
+        .collect();
+    for d in diags.iter_mut() {
+        if d.rule != RULE_PANIC {
+            continue;
+        }
+        let Some(&fi) = unit_of.get(d.file.as_str()) else {
+            continue;
+        };
+        let tokens = &units[fi].lexed.tokens;
+        // Innermost reachable node whose body line span contains the site.
+        let mut best: Option<(usize, usize)> = None; // (span, node)
+        for &id in reach.order.iter() {
+            let n = &graph.nodes[id];
+            if n.file != fi {
+                continue;
+            }
+            let (lo, hi) = (tokens[n.body.0].line, tokens[n.body.1].line);
+            if lo <= d.line && d.line <= hi {
+                let span = hi - lo;
+                if best.is_none_or(|(s, _)| span < s) {
+                    best = Some((span, id));
+                }
+            }
+        }
+        if let Some((_, id)) = best {
+            let chain = graph.chain(units, reach, id);
+            d.message.push_str(&format!(
+                "; reachable from a per-access root: {}",
+                format_chain(&chain)
+            ));
+        }
     }
 }
 
@@ -725,7 +966,9 @@ fn panic_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Di
             continue;
         }
         let preceded_by_dot = i > 0 && tokens[i - 1].is_punct('.');
-        if preceded_by_dot && t.text == "unwrap" && tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
+        if preceded_by_dot
+            && t.text == "unwrap"
+            && tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
         {
             diags.push(Diagnostic::new(
                 path,
@@ -735,7 +978,9 @@ fn panic_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Di
             ));
             continue;
         }
-        if preceded_by_dot && t.text == "expect" && tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
+        if preceded_by_dot
+            && t.text == "expect"
+            && tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
         {
             let arg = tokens.get(i + 2);
             let documented = arg.is_some_and(|a| a.kind == TokenKind::Str && a.text.len() > 2);
@@ -757,7 +1002,10 @@ fn panic_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Di
                 path,
                 t.line,
                 RULE_PANIC,
-                &format!("`{}!` in library code; prefer an assert with a message or an error return", t.text),
+                &format!(
+                    "`{}!` in library code; prefer an assert with a message or an error return",
+                    t.text
+                ),
             ));
         }
     }
@@ -829,8 +1077,19 @@ fn docs_rule(path: &str, file: &LexedFile, in_test: &[bool], diags: &mut Vec<Dia
                 break;
             }
         }
+        // Lint markers (`lint:cold-path …`, `lint:allow(…)`) may sit
+        // between the doc comment and the item without breaking
+        // adjacency.
+        let mut gap = first_line;
+        while let Some(c) = file.comments.iter().find(|c| {
+            c.style == CommentStyle::Line
+                && c.end_line + 1 == gap
+                && c.text.trim().starts_with("lint:")
+        }) {
+            gap = c.line;
+        }
         let documented = file.comments.iter().any(|c| {
-            (c.style == CommentStyle::DocOuter && c.end_line + 1 >= first_line && c.line < first_line)
+            (c.style == CommentStyle::DocOuter && c.end_line + 1 >= gap && c.line < gap)
                 || (c.style == CommentStyle::DocInner && kw.is_ident("mod"))
         });
         if !documented {
@@ -858,10 +1117,19 @@ mod tests {
 
     #[test]
     fn classify_paths() {
-        assert_eq!(FileKind::classify("crates/cache/src/lru.rs"), FileKind::Library);
+        assert_eq!(
+            FileKind::classify("crates/cache/src/lru.rs"),
+            FileKind::Library
+        );
         assert_eq!(FileKind::classify("crates/cache/tests/p.rs"), FileKind::Test);
-        assert_eq!(FileKind::classify("crates/bench/benches/m.rs"), FileKind::Test);
-        assert_eq!(FileKind::classify("crates/bench/src/bin/fig1.rs"), FileKind::Binary);
+        assert_eq!(
+            FileKind::classify("crates/bench/benches/m.rs"),
+            FileKind::Test
+        );
+        assert_eq!(
+            FileKind::classify("crates/bench/src/bin/fig1.rs"),
+            FileKind::Binary
+        );
         assert_eq!(FileKind::classify("tests/paper_goals.rs"), FileKind::Test);
         assert_eq!(FileKind::classify("src/lib.rs"), FileKind::Library);
     }
@@ -883,14 +1151,18 @@ mod tests {
 
     #[test]
     fn deterministic_map_use_is_clean() {
-        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); let _ = m.get(&1); let _ = m.len(); }\n";
+        let src =
+            "fn f() { let m: HashMap<u32, u32> = HashMap::new(); let _ = m.get(&1); let _ = m.len(); }\n";
         assert!(lint(src).is_empty(), "{:?}", lint(src));
     }
 
     #[test]
     fn vec_iteration_is_clean() {
         let src = "fn f(v: &Vec<u32>) -> u32 { v.iter().sum() }\n";
-        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_DETERMINISM).collect();
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_DETERMINISM)
+            .collect();
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -920,7 +1192,10 @@ mod tests {
     #[test]
     fn seeded_rng_is_clean() {
         let src = "fn f() { let r = StdRng::seed_from_u64(7); let _ = r; }\n";
-        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_DETERMINISM).collect();
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_DETERMINISM)
+            .collect();
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -943,6 +1218,36 @@ mod tests {
     }
 
     #[test]
+    fn unused_allow_is_dead() {
+        let src = "// lint:allow(panic) nothing here panics any more\nfn f() -> u8 { 1 }\n";
+        let d = lint(src);
+        assert_eq!(rules_of(&d), [RULE_DEAD_ALLOW]);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn live_allow_is_not_dead() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n// lint:allow(panic) prototype; tracked in ROADMAP\nx.unwrap() }\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn dead_allow_in_test_files_is_ignored() {
+        let src = "// lint:allow(panic) tests may unwrap anyway\nfn f() {}\n";
+        let d = check_source("crates/x/tests/t.rs", src, FileKind::Test);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn dead_allow_fires_in_binaries() {
+        // Binary files skip the panic rule entirely, so a panic allow
+        // there can never suppress anything — it is decorative.
+        let src = "// lint:allow(panic) CLI may abort\nfn main() {}\n";
+        let d = check_source("crates/bench/src/bin/t.rs", src, FileKind::Binary);
+        assert_eq!(rules_of(&d), [RULE_DEAD_ALLOW]);
+    }
+
+    #[test]
     fn unsafe_without_safety_comment() {
         let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
         let d = lint(src);
@@ -952,7 +1257,10 @@ mod tests {
     #[test]
     fn unsafe_with_safety_comment_is_clean() {
         let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
-        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_UNSAFE).collect();
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_UNSAFE)
+            .collect();
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -965,7 +1273,10 @@ mod tests {
     #[test]
     fn expect_with_message_is_clean() {
         let src = "fn f(x: Option<u8>) -> u8 { x.expect(\"invariant: present\") }\n";
-        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_PANIC).collect();
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_PANIC)
+            .collect();
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -973,6 +1284,21 @@ mod tests {
     fn panic_macros_are_flagged() {
         let src = "fn f() { panic!(\"boom\") }\nfn g() { unreachable!() }\n";
         assert_eq!(rules_of(&lint(src)), [RULE_PANIC, RULE_PANIC]);
+    }
+
+    #[test]
+    fn panic_on_access_path_carries_call_chain() {
+        let src = "fn access_into(b: u32) { helper(b); }\nfn helper(b: u32) { if b > 9 { panic!(\"big\") } }\n";
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_PANIC)
+            .collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("access_into (x.rs:1) → helper (x.rs:1)"),
+            "{}",
+            d[0].message
+        );
     }
 
     #[test]
@@ -984,21 +1310,30 @@ mod tests {
     #[test]
     fn test_fn_attr_is_exempt() {
         let src = "#[test]\nfn f() { let x: Option<u8> = None; x.unwrap(); }\n";
-        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_PANIC).collect();
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_PANIC)
+            .collect();
         assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
     fn undocumented_pub_items_are_flagged() {
         let src = "pub fn f() {}\npub struct S { pub x: u32 }\n";
-        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_DOCS).collect();
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_DOCS)
+            .collect();
         assert_eq!(d.len(), 3, "{d:?}"); // fn f, struct S, field x
     }
 
     #[test]
     fn documented_and_crate_private_items_are_clean() {
         let src = "/// Does f.\npub fn f() {}\npub(crate) fn g() {}\nfn h() {}\npub use std::fmt;\n/// S.\n#[derive(Debug)]\npub struct S {\n    /// X.\n    pub x: u32,\n}\n";
-        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_DOCS).collect();
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_DOCS)
+            .collect();
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -1018,7 +1353,10 @@ mod tests {
     #[test]
     fn allow_file_suppresses_everywhere() {
         let src = "// lint:allow-file(panic) exploratory tool\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        let d: Vec<_> = lint(src).into_iter().filter(|d| d.rule == RULE_PANIC).collect();
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_PANIC || d.rule == RULE_DEAD_ALLOW)
+            .collect();
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -1073,9 +1411,37 @@ mod tests {
     }
 
     #[test]
-    fn hot_alloc_clone_in_access_is_flagged() {
-        let src = "fn access_into(&mut self, b: u32) { let d = self.demotions.clone(); let _ = d; }\n";
+    fn alloc_in_root_body_is_flagged_with_chain() {
+        let src = "impl S { fn access_into(&mut self, b: u32) { let d = self.buf.clone(); let _ = d; } }\n";
         let d: Vec<_> = check_source("crates/core/src/stack.rs", src, FileKind::Library)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
+            .collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("S::access_into"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn alloc_in_transitive_helper_is_flagged() {
+        let src = "fn deliver_into(q: u32) { step(q); }\nfn step(q: u32) { grow(q); }\nfn grow(_q: u32) { let v: Vec<u32> = Vec::new(); let _ = v; }\n";
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
+            .collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(
+            d[0].message
+                .contains("deliver_into (x.rs:1) → step (x.rs:1) → grow (x.rs:2)"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn hot_root_marker_adds_a_root() {
+        let src = "// lint:hot-root pump runs per tick on the steady path\nfn pump() { let a = vec![0u32; 4]; let _ = a; }\n";
+        let d: Vec<_> = lint(src)
             .into_iter()
             .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
             .collect();
@@ -1083,37 +1449,36 @@ mod tests {
     }
 
     #[test]
-    fn hot_alloc_vec_macro_and_constructor_are_flagged() {
-        let src = "fn pump(&mut self) { let a = vec![0u32; 4]; let b: Vec<u32> = Vec::new(); let _ = (a, b); }\n";
-        let d: Vec<_> = check_source("crates/hierarchy/src/uni_lru.rs", src, FileKind::Library)
-            .into_iter()
-            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
-            .collect();
-        assert_eq!(d.len(), 2, "{d:?}");
+    fn cold_path_marker_prunes_and_needs_reason() {
+        let clean = "fn access_into(b: u32) { rebuild(b); }\n// lint:cold-path crash recovery allocates by design\nfn rebuild(_b: u32) { let v = vec![0u32; 4]; let _ = v; }\n";
+        let d = lint(clean);
+        assert!(d.is_empty(), "{d:?}");
+        let reasonless = "fn access_into(b: u32) { rebuild(b); }\n// lint:cold-path\nfn rebuild(_b: u32) {}\n";
+        let d = lint(reasonless);
+        assert_eq!(rules_of(&d), [RULE_ALLOW_SYNTAX]);
     }
 
     #[test]
-    fn hot_alloc_skips_non_access_fns_and_other_modules() {
-        // Constructors may allocate freely; so may per-access code in
-        // modules outside the §5f contract.
-        let ctor = "fn new() -> Self { Self { v: Vec::new(), w: vec![0; 8] } }\n";
-        let d: Vec<_> = check_source("crates/core/src/multi.rs", ctor, FileKind::Library)
+    fn dangling_markers_are_reported() {
+        let src = "// lint:hot-root nothing follows\nstruct S;\n";
+        assert_eq!(rules_of(&lint(src)), [RULE_ALLOW_SYNTAX]);
+    }
+
+    #[test]
+    fn alloc_off_the_access_tree_is_clean() {
+        // Constructors and unreachable helpers may allocate freely.
+        let src = "fn new() -> Vec<u32> { Vec::new() }\nfn access(b: u32) -> Vec<u32> { vec![b] }\n";
+        let d: Vec<_> = lint(src)
             .into_iter()
             .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
             .collect();
         assert!(d.is_empty(), "{d:?}");
-        let access = "fn access(&mut self) { let v = self.buf.to_vec(); let _ = v; }\n";
-        let d: Vec<_> = check_source("crates/bench/src/fig6.rs", access, FileKind::Library)
-            .into_iter()
-            .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
-            .collect();
-        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
-    fn hot_alloc_allow_comment_suppresses() {
-        let src = "fn access(&mut self) -> Vec<u32> {\n    // lint:allow(hot-path-alloc) by-value compatibility shim; the allocation-free path is access_into\n    self.buf.to_vec()\n}\n";
-        let d: Vec<_> = check_source("crates/hierarchy/src/plane.rs", src, FileKind::Library)
+    fn hot_alloc_allow_comment_suppresses_at_site() {
+        let src = "fn access_into(b: u32) -> u32 {\n    // lint:allow(hot-path-alloc) resize is warm-up only; steady state hits capacity\n    let v: Vec<u32> = Vec::with_capacity(b as usize);\n    v.len() as u32\n}\n";
+        let d: Vec<_> = lint(src)
             .into_iter()
             .filter(|d| d.rule == RULE_HOT_PATH_ALLOC || d.rule == RULE_ALLOW_SYNTAX)
             .collect();
@@ -1132,10 +1497,50 @@ mod tests {
 
     #[test]
     fn hot_alloc_test_modules_are_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn access(&mut self) { let v = vec![1, 2]; let _ = v.clone(); }\n}\n";
+        let src = "#[cfg(test)]\nmod tests {\n    fn access_into(b: u32) { let v = vec![b]; let _ = v.clone(); }\n}\n";
         let d: Vec<_> = check_source("crates/core/src/single.rs", src, FileKind::Library)
             .into_iter()
             .filter(|d| d.rule == RULE_HOT_PATH_ALLOC)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn plane_exhaustive_flags_missing_variants() {
+        let src = "// lint:exhaustive\nenum Fate { A, B, C }\nfn pump(p: u32) {\n    deliver(p);\n    if let Fate::A = f() {}\n}\nfn f() -> Fate { Fate::A }\n";
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_PLANE_EXHAUSTIVE)
+            .collect();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`B`"), "{}", d[0].message);
+        assert!(d[0].message.contains("`C`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn plane_exhaustive_wildcard_and_full_match_are_clean() {
+        let full = "// lint:exhaustive\nenum Fate { A, B }\nfn pump(p: u32) { deliver(p); match f() { Fate::A => {}, Fate::B => {} } }\nfn f() -> Fate { Fate::A }\n";
+        let d: Vec<_> = lint(full)
+            .into_iter()
+            .filter(|d| d.rule == RULE_PLANE_EXHAUSTIVE)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+        let wild = "// lint:exhaustive\nenum Fate { A, B }\nfn pump(p: u32) { deliver(p); match f() { Fate::A => {}, _ => {} } }\nfn f() -> Fate { Fate::A }\n";
+        let d: Vec<_> = lint(wild)
+            .into_iter()
+            .filter(|d| d.rule == RULE_PLANE_EXHAUSTIVE)
+            .collect();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn plane_exhaustive_ignores_non_handlers() {
+        // A fn that names variants but never touches the plane is not a
+        // delivery handler.
+        let src = "// lint:exhaustive\nenum Fate { A, B }\nfn observe() -> bool { matches!(f(), Fate::A) }\nfn f() -> Fate { Fate::A }\n";
+        let d: Vec<_> = lint(src)
+            .into_iter()
+            .filter(|d| d.rule == RULE_PLANE_EXHAUSTIVE)
             .collect();
         assert!(d.is_empty(), "{d:?}");
     }

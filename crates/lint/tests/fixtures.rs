@@ -203,3 +203,32 @@ fn workspace_walk_skips_fixtures() {
         "lint crate sources must self-lint clean: {diags:#?}"
     );
 }
+
+// ── Lexer edge cases ────────────────────────────────────────────────
+// Each fixture hides rule-relevant text inside a literal or comment
+// form the lexer must classify correctly, then plants one real finding
+// whose exact line proves the scan resynchronised.
+
+#[test]
+fn raw_strings_do_not_smuggle_allow_markers() {
+    let d = lint_fixture("lexer_raw_string.rs");
+    assert_eq!(signature(&d), [(14, "panic")], "{d:#?}");
+}
+
+#[test]
+fn nested_block_comments_nest() {
+    let d = lint_fixture("lexer_nested_comment.rs");
+    assert_eq!(signature(&d), [(10, "panic")], "{d:#?}");
+}
+
+#[test]
+fn byte_strings_are_data() {
+    let d = lint_fixture("lexer_byte_string.rs");
+    assert_eq!(signature(&d), [(9, "panic")], "{d:#?}");
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let d = lint_fixture("lexer_lifetime.rs");
+    assert_eq!(signature(&d), [(10, "panic")], "{d:#?}");
+}

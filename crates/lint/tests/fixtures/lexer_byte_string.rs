@@ -1,0 +1,10 @@
+//! Lexer edge case: byte strings are data. Panicky names and comment
+//! openers inside them must not derail the scan.
+
+/// The byte pattern spells `.unwrap()`, `panic!` and an unclosed `/*`;
+/// none of it is code, and the scan must resynchronise cleanly so the
+/// real call below is still seen.
+pub fn parse(x: Option<u8>) -> u8 {
+    let _pat: &[u8] = b".unwrap() panic! /* never closed";
+    x.unwrap()
+}

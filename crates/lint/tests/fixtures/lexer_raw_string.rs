@@ -1,0 +1,15 @@
+//! Lexer edge case: allow-marker text inside raw strings is data, not a
+//! comment — it must not suppress the diagnostic on the next line.
+
+/// Help text that *mentions* the allow syntax, as docs tend to.
+pub fn help() -> &'static str {
+    r#"write // lint:allow(panic) reason above the offending line"#
+}
+
+/// The unwrap below sits directly under a raw string whose *contents*
+/// look like an allow; a lexer that mistook it for a comment would
+/// wrongly suppress the finding.
+pub fn take(x: Option<u8>) -> u8 {
+    let _s = r##"decoy: lint:allow(panic) hidden behind hashes "# still open"##;
+    x.unwrap()
+}

@@ -345,10 +345,8 @@ impl<V> BlockMap<V> {
         match &self.repr {
             Repr::Dense { direct, sparse, .. } => Iter::Dense {
                 direct: direct.iter().enumerate(),
-                // lint:allow(determinism) documented order-insensitive iterator; callers may not depend on order
                 sparse: sparse.iter(),
             },
-            // lint:allow(determinism) documented order-insensitive iterator over the reference representation
             Repr::Hashed(m) => Iter::Hashed(m.iter()),
         }
     }

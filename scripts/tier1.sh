@@ -7,8 +7,28 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
-cargo run -q -p ulc-lint -- --json=results/lint.json
 cargo test --features debug_invariants -q
+
+# Lint gates (ISSUES 5 and 7). The linter's own suite first (parser,
+# call graph, fixtures, CLI), then the workspace pass as a *diff gate*:
+# it fails only on findings whose fingerprint is not in the committed
+# baseline (scripts/lint_baseline.txt), so a finding three modules away
+# from an unrelated edit never blocks that edit without triage. The
+# JSON report is still written for CI consumption (untracked).
+cargo test -q -p ulc-lint
+cargo run -q -p ulc-lint -- --json=results/lint.json \
+  --baseline=scripts/lint_baseline.txt
+
+# The allowlist must carry zero dead weight: every lint:allow in the
+# workspace must still be suppressing something. Dead allows are
+# ordinary findings, so a clean baseline-gated run above already proves
+# this; the explicit grep keeps the contract visible if the baseline
+# ever grows entries.
+lint_out="$(cargo run -q -p ulc-lint -- 2>/dev/null || true)"
+if grep -F '[dead-allow]' <<<"$lint_out"; then
+  echo "tier1: dead lint:allow comments in the workspace" >&2
+  exit 1
+fi
 
 # Message-plane gates (ISSUE 3): the zero-fault differential suite proves
 # the FaultyPlane refactor is bit-identical to the reliable plane on every
