@@ -24,6 +24,11 @@
 //! against a checked-in baseline and exits non-zero if any interned
 //! accesses/sec rate regressed by more than 25%. `--bench-only` skips
 //! the figure sweep so CI can gate throughput quickly.
+//!
+//! When built with the `obs` feature the report carries an `obs` section
+//! (conservation-checked event/metrics cells per protocol, DESIGN.md
+//! §5h); any cell whose event ledger fails to reconcile against its
+//! `SimStats` makes the run exit non-zero.
 
 use ulc_bench::sweep::Sweep;
 use ulc_bench::{
@@ -64,6 +69,21 @@ fn run_bench(scale: Scale, json: Option<&str>, baseline: Option<&str>) -> bool {
         eprintln!("wrote {path}");
     }
     let mut ok = true;
+    if let Some(obs) = &report.obs {
+        let failures = obs.conservation_failures();
+        if failures.is_empty() {
+            eprintln!(
+                "obs gate: ok ({} protocols reconciled, ring={})",
+                obs.protocols.len(),
+                obs.ring_capacity
+            );
+        } else {
+            for f in &failures {
+                eprintln!("obs gate FAILED: {f}");
+            }
+            ok = false;
+        }
+    }
     if ulc_bench::alloc_stats::enabled() {
         let alloc_failures = throughput::check_alloc_gate(&report);
         if alloc_failures.is_empty() {

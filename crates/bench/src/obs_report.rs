@@ -1,0 +1,450 @@
+//! The `obs` section of `sweep --bench-json`: conservation-checked
+//! observability cells for every protocol, with their metrics registries
+//! merged across sweep workers (DESIGN.md §5h).
+//!
+//! Each cell runs one protocol over a seeded workload with recording
+//! enabled from the very first reference (warm-up 0), then hands the
+//! recorder plus the run's `SimStats` to the `ulc_obs::check`
+//! conservation kit. The per-cell registries — counters, per-level rows
+//! and power-of-two histograms — are folded into one merged registry
+//! through [`MetricsRegistry::merge`], exercising the associativity the
+//! proptests in `ulc-obs` prove. The LLD-R distances of the headline
+//! trace are recorded into the merged registry's `lld_r` histogram.
+//!
+//! The types here are compiled unconditionally so reports round-trip
+//! regardless of features; only [`collect`] produces live numbers, and
+//! only when the `obs` feature attached real recorders
+//! ([`ulc_obs::recording_compiled`]).
+
+use crate::sweep::{worker_count, Sweep};
+use crate::Scale;
+use serde::{Deserialize, Serialize};
+use ulc_core::{UlcConfig, UlcMulti, UlcMultiConfig, UlcSingle};
+use ulc_hierarchy::{
+    simulate, DemotionBuffer, EvictionBased, IndLru, LruMqServer, MultiLevelPolicy, SimStats,
+    UniLru,
+};
+use ulc_measures::{trace_measures, INFINITE};
+use ulc_obs::{check, CounterId, HistId, MetricsRegistry, Observe, Pow2Histogram};
+use ulc_trace::patterns::{LoopingPattern, Pattern};
+use ulc_trace::{synthetic, Trace};
+
+/// Event-ring slots per conservation cell. Large enough that the smoke
+/// cells keep complete streams; counters stay exact even when longer
+/// runs wrap the ring.
+pub const OBS_RING_CAPACITY: usize = 1 << 16;
+
+/// One nonzero histogram bucket: `n` values in `[lo, hi]`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BucketDump {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Inclusive upper bound of the bucket.
+    pub hi: u64,
+    /// Values recorded in the bucket.
+    pub n: u64,
+}
+
+/// One pre-registered power-of-two histogram, nonzero buckets only.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HistogramDump {
+    /// Histogram name (`lld_r`, `demote_batch`, `rpc_rounds`).
+    pub name: String,
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub total: u64,
+    /// Nonzero buckets, ascending.
+    pub buckets: Vec<BucketDump>,
+}
+
+/// One whole-run counter.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CounterDump {
+    /// Counter name (see `ulc_obs::CounterId::name`).
+    pub name: String,
+    /// Final value.
+    pub value: u64,
+}
+
+/// Per-level tallies of one cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LevelDump {
+    /// Level index, 0 = client. Boundary-indexed fields (demotions,
+    /// buffered) describe boundary `level` → `level + 1`.
+    pub level: usize,
+    /// Hits served at this level.
+    pub hits: u64,
+    /// Blocks installed at this level.
+    pub retrieves: u64,
+    /// Demotions across this boundary (including buffered ones).
+    pub demotions: u64,
+    /// Demotions across this boundary absorbed by a demotion buffer.
+    pub buffered: u64,
+    /// Blocks evicted from this level to `L_out`.
+    pub evictions: u64,
+}
+
+/// One protocol's conservation cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObsProtocolReport {
+    /// Protocol name as used in the figures.
+    pub protocol: String,
+    /// Workload the cell ran.
+    pub workload: String,
+    /// References simulated (warm-up 0: the whole trace is recorded).
+    pub refs: usize,
+    /// Whole-run counters, in `CounterId::ALL` order.
+    pub counters: Vec<CounterDump>,
+    /// Per-level rows, top-down.
+    pub per_level: Vec<LevelDump>,
+    /// This cell's histograms.
+    pub histograms: Vec<HistogramDump>,
+    /// Events currently in the ring.
+    pub events_logged: usize,
+    /// Events the ring overwrote.
+    pub events_dropped: u64,
+    /// `"ok"`, or the first discrepancy the conservation kit found.
+    pub conservation: String,
+}
+
+/// The merged view across all cells (the sweep-worker fold).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MergedDump {
+    /// Worker threads the cells fanned across.
+    pub workers: usize,
+    /// Counters summed over every cell.
+    pub counters: Vec<CounterDump>,
+    /// Histograms merged over every cell, plus the trace-level `lld_r`.
+    pub histograms: Vec<HistogramDump>,
+}
+
+/// The `obs` section of the bench report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObsSection {
+    /// Event-ring slots each cell recorded into.
+    pub ring_capacity: usize,
+    /// One conservation cell per protocol.
+    pub protocols: Vec<ObsProtocolReport>,
+    /// Registries folded across all cells.
+    pub merged: MergedDump,
+}
+
+impl ObsSection {
+    /// Conservation failures across all cells, empty when every cell
+    /// reconciled (`"ok"`).
+    pub fn conservation_failures(&self) -> Vec<String> {
+        self.protocols
+            .iter()
+            .filter(|p| p.conservation != "ok")
+            .map(|p| format!("{}/{}: {}", p.protocol, p.workload, p.conservation))
+            .collect()
+    }
+}
+
+fn dump_hist(name: &str, h: &Pow2Histogram) -> HistogramDump {
+    HistogramDump {
+        name: name.to_string(),
+        count: h.count(),
+        total: h.total(),
+        buckets: h.nonzero().map(|(lo, hi, n)| BucketDump { lo, hi, n }).collect(),
+    }
+}
+
+fn dump_counters(m: &MetricsRegistry) -> Vec<CounterDump> {
+    CounterId::ALL
+        .iter()
+        .map(|&id| CounterDump {
+            name: id.name().to_string(),
+            value: m.counter(id),
+        })
+        .collect()
+}
+
+fn dump_levels(m: &MetricsRegistry) -> Vec<LevelDump> {
+    (0..m.levels())
+        .map(|level| {
+            let row = m.level(level);
+            LevelDump {
+                level,
+                hits: row.hits,
+                retrieves: row.retrieves,
+                demotions: row.demotions,
+                buffered: row.buffered,
+                evictions: row.evictions,
+            }
+        })
+        .collect()
+}
+
+fn dump_hists(m: &MetricsRegistry) -> Vec<HistogramDump> {
+    HistId::ALL
+        .iter()
+        .map(|&id| dump_hist(id.name(), m.hist(id)))
+        .collect()
+}
+
+fn stats_view(stats: &SimStats) -> check::StatsView<'_> {
+    check::StatsView {
+        references: stats.references,
+        hits_by_level: &stats.hits_by_level,
+        misses: stats.misses,
+        demotions_by_boundary: &stats.demotions_by_boundary,
+    }
+}
+
+/// Runs one conservation cell: recording enabled from the first
+/// reference (warm-up 0), the whole run reconciled against `SimStats`.
+fn conservation_cell<P: MultiLevelPolicy + Observe>(
+    protocol: &str,
+    workload: &str,
+    mut policy: P,
+    trace: &Trace,
+) -> (ObsProtocolReport, Option<MetricsRegistry>) {
+    let levels = policy.num_levels();
+    policy.obs_mut().enable(levels, OBS_RING_CAPACITY);
+    let stats = simulate(&mut policy, trace, 0);
+    // Transport faults come from the run's fault summary, kept apart
+    // from the protocol-level Fault events.
+    let f = &stats.faults;
+    policy.obs_mut().add_plane_faults(
+        f.messages_dropped
+            + f.messages_duplicated
+            + f.messages_reordered
+            + f.overflow_drops
+            + f.rpc_failures
+            + f.crashes,
+    );
+    policy.obs_mut().finish();
+    let Some(rec) = policy.obs().recorder() else {
+        return (
+            ObsProtocolReport {
+                protocol: protocol.to_string(),
+                workload: workload.to_string(),
+                refs: trace.len(),
+                counters: Vec::new(),
+                per_level: Vec::new(),
+                histograms: Vec::new(),
+                events_logged: 0,
+                events_dropped: 0,
+                conservation: "recorder unavailable (obs feature off)".to_string(),
+            },
+            None,
+        );
+    };
+    let conservation = match check::reconcile(rec, &stats_view(&stats)) {
+        Ok(()) => "ok".to_string(),
+        Err(e) => e,
+    };
+    let m = rec.metrics();
+    (
+        ObsProtocolReport {
+            protocol: protocol.to_string(),
+            workload: workload.to_string(),
+            refs: trace.len(),
+            counters: dump_counters(m),
+            per_level: dump_levels(m),
+            histograms: dump_hists(m),
+            events_logged: rec.log().len(),
+            events_dropped: rec.log().dropped(),
+            conservation,
+        },
+        Some(m.clone()),
+    )
+}
+
+fn obs_refs(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 120_000,
+        Scale::Default => 240_000,
+        Scale::Full => 600_000,
+    }
+}
+
+/// Collects the `obs` section at the given scale (see [`collect_sized`]).
+pub fn collect(scale: Scale) -> ObsSection {
+    collect_sized(obs_refs(scale))
+}
+
+/// Runs every protocol's conservation cell over `refs` references of the
+/// headline loop-100k workload (the multi-client cell uses the seeded
+/// `httpd` trace of the same length), fanning the cells across sweep
+/// workers, and folds the registries into the merged view.
+pub fn collect_sized(refs: usize) -> ObsSection {
+    type Cell = (ObsProtocolReport, Option<MetricsRegistry>);
+    let mut sweep: Sweep<Cell> = Sweep::new();
+    sweep.add("obs:ULC", move || {
+        conservation_cell(
+            "ULC",
+            "loop-100k",
+            UlcSingle::new(UlcConfig::new(vec![40_000, 80_000])),
+            &LoopingPattern::new(100_000).generate(refs),
+        )
+    });
+    sweep.add("obs:uniLRU", move || {
+        conservation_cell(
+            "uniLRU",
+            "loop-100k",
+            UniLru::single_client(vec![40_000, 80_000]),
+            &LoopingPattern::new(100_000).generate(refs),
+        )
+    });
+    sweep.add("obs:indLRU", move || {
+        conservation_cell(
+            "indLRU",
+            "loop-100k",
+            IndLru::single_client(vec![40_000, 80_000]),
+            &LoopingPattern::new(100_000).generate(refs),
+        )
+    });
+    sweep.add("obs:evict-reload", move || {
+        conservation_cell(
+            "evict-reload",
+            "loop-100k",
+            EvictionBased::new(vec![40_000], 80_000, 5),
+            &LoopingPattern::new(100_000).generate(refs),
+        )
+    });
+    sweep.add("obs:MQ", move || {
+        conservation_cell(
+            "MQ",
+            "loop-100k",
+            LruMqServer::new(vec![40_000], 80_000),
+            &LoopingPattern::new(100_000).generate(refs),
+        )
+    });
+    sweep.add("obs:buffered", move || {
+        conservation_cell(
+            "buffered",
+            "loop-100k",
+            DemotionBuffer::new(UniLru::single_client(vec![40_000, 80_000]), 64, 0.5),
+            &LoopingPattern::new(100_000).generate(refs),
+        )
+    });
+    sweep.add("obs:ULC-multi", move || {
+        conservation_cell(
+            "ULC-multi",
+            "httpd-multi",
+            UlcMulti::new(UlcMultiConfig::uniform(7, 1024, 8192)),
+            &synthetic::httpd_multi(refs),
+        )
+    });
+    let (cells, _timing) = sweep.run();
+
+    // All cells run two-level hierarchies, so their registries fold into
+    // one (associative and commutative; proptested in ulc-obs).
+    let mut merged = MetricsRegistry::new(2);
+    let mut protocols = Vec::with_capacity(cells.len());
+    for (report, registry) in cells {
+        if let Some(r) = &registry {
+            merged.merge(r);
+        }
+        protocols.push(report);
+    }
+    // The trace-level LLD-R distances of the headline workload.
+    for s in trace_measures(&LoopingPattern::new(100_000).generate(refs)) {
+        if s.lld_r != INFINITE {
+            merged.observe(HistId::LldR, s.lld_r);
+        }
+    }
+    ObsSection {
+        ring_capacity: OBS_RING_CAPACITY,
+        protocols,
+        merged: MergedDump {
+            workers: worker_count(),
+            counters: dump_counters(&merged),
+            histograms: dump_hists(&merged),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_round_trips_through_json() {
+        let section = ObsSection {
+            ring_capacity: 8,
+            protocols: vec![ObsProtocolReport {
+                protocol: "ULC".into(),
+                workload: "loop-100k".into(),
+                refs: 10,
+                counters: vec![CounterDump { name: "hits".into(), value: 3 }],
+                per_level: vec![LevelDump {
+                    level: 0,
+                    hits: 3,
+                    retrieves: 7,
+                    demotions: 1,
+                    buffered: 0,
+                    evictions: 2,
+                }],
+                histograms: vec![HistogramDump {
+                    name: "demote_batch".into(),
+                    count: 1,
+                    total: 1,
+                    buckets: vec![BucketDump { lo: 1, hi: 1, n: 1 }],
+                }],
+                events_logged: 8,
+                events_dropped: 2,
+                conservation: "ok".into(),
+            }],
+            merged: MergedDump {
+                workers: 4,
+                counters: Vec::new(),
+                histograms: Vec::new(),
+            },
+        };
+        let text = serde_json::to_string(&section).expect("serialises");
+        let back: ObsSection = serde_json::from_str(&text).expect("deserialises");
+        assert_eq!(back.protocols[0].protocol, "ULC");
+        assert_eq!(back.merged.workers, 4);
+        assert!(back.conservation_failures().is_empty());
+    }
+
+    #[test]
+    fn conservation_failures_surface_non_ok_cells() {
+        let mut section = ObsSection {
+            ring_capacity: 8,
+            protocols: Vec::new(),
+            merged: MergedDump {
+                workers: 1,
+                counters: Vec::new(),
+                histograms: Vec::new(),
+            },
+        };
+        section.protocols.push(ObsProtocolReport {
+            protocol: "uniLRU".into(),
+            workload: "loop-100k".into(),
+            refs: 10,
+            counters: Vec::new(),
+            per_level: Vec::new(),
+            histograms: Vec::new(),
+            events_logged: 0,
+            events_dropped: 0,
+            conservation: "misses: recorded 3, stats say 4".into(),
+        });
+        let fails = section.conservation_failures();
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("uniLRU/loop-100k"));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn tiny_collect_reconciles_every_protocol() {
+        let section = collect_sized(4_000);
+        assert_eq!(section.protocols.len(), 7);
+        assert_eq!(
+            section.conservation_failures(),
+            Vec::<String>::new(),
+            "every cell must reconcile"
+        );
+        let accesses = section
+            .merged
+            .counters
+            .iter()
+            .find(|c| c.name == "accesses")
+            .expect("accesses counter");
+        assert_eq!(accesses.value, 7 * 4_000);
+    }
+}

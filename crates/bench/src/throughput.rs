@@ -20,14 +20,16 @@
 //! §5f zero-allocation contract requires to be allocation-free); see
 //! [`check_alloc_gate`].
 
+use crate::obs_report::{ObsSection, OBS_RING_CAPACITY};
 use crate::{alloc_stats, row, Scale};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use std::time::Instant;
 use ulc_core::{UlcConfig, UlcMultiConfig, UlcMulti, UlcSingle};
 use ulc_hierarchy::reference::MapReliablePlane;
 use ulc_hierarchy::{
     simulate, AccessOutcome, EvictionBased, MultiLevelPolicy, UniLru, UniLruVariant,
 };
+use ulc_obs::Observe;
 use ulc_trace::patterns::{LoopingPattern, Pattern};
 use ulc_trace::{synthetic, TableMode, Trace};
 
@@ -85,13 +87,36 @@ impl serde::Deserialize for ThroughputRow {
 }
 
 /// The full throughput report, serialised to `BENCH_sim.json`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize)]
 pub struct ThroughputReport {
     /// Scale label the report was generated at ("smoke", "default",
     /// "full") — baseline comparisons only make sense within one scale.
     pub scale: String,
     /// One row per protocol × workload × trace size.
     pub rows: Vec<ThroughputRow>,
+    /// Observability section (DESIGN.md §5h): conservation-checked event
+    /// and metrics cells for every protocol. `None` when the report was
+    /// generated without the `obs` feature.
+    pub obs: Option<ObsSection>,
+}
+
+// Hand-written so baselines recorded before the `obs` section existed
+// (no "obs" key at all) keep deserialising; the derive errors on missing
+// fields.
+impl serde::Deserialize for ThroughputReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for ThroughputReport"))?;
+        Ok(ThroughputReport {
+            scale: serde::Deserialize::from_value(serde::get_field(fields, "scale")?)?,
+            rows: serde::Deserialize::from_value(serde::get_field(fields, "rows")?)?,
+            obs: match serde::get_field(fields, "obs") {
+                Ok(value) => serde::Deserialize::from_value(value)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// Trace sizes measured per workload. Several sizes per scale so the
@@ -182,14 +207,21 @@ fn measure<D, H, FD, FH>(
     hashed: FH,
 ) -> ThroughputRow
 where
-    D: MultiLevelPolicy,
+    D: MultiLevelPolicy + Observe,
     H: MultiLevelPolicy,
     FD: Fn() -> D,
     FH: Fn() -> H,
 {
     let interned_aps = best_aps(&dense, trace);
     let reference_aps = best_aps(&hashed, trace);
-    let (warmup_allocs_per_access, steady_allocs_per_access) = alloc_profile(dense(), trace);
+    // The allocation profile runs with a live recorder attached (when the
+    // `obs` feature compiled one in): the §5f zero-allocation contract
+    // must hold for the *instrumented* hot path too. Attaching allocates
+    // once, here, before `alloc_profile` resets the counters.
+    let mut profiled = dense();
+    let levels = profiled.num_levels();
+    profiled.obs_mut().enable(levels, OBS_RING_CAPACITY);
+    let (warmup_allocs_per_access, steady_allocs_per_access) = alloc_profile(profiled, trace);
     ThroughputRow {
         protocol: protocol.to_string(),
         workload: workload.to_string(),
@@ -290,6 +322,11 @@ pub fn run(scale: Scale) -> ThroughputReport {
     ThroughputReport {
         scale: scale_label(scale).to_string(),
         rows,
+        obs: if ulc_obs::recording_compiled() {
+            Some(crate::obs_report::collect(scale))
+        } else {
+            None
+        },
     }
 }
 
@@ -420,6 +457,7 @@ mod tests {
         ThroughputReport {
             scale: "smoke".into(),
             rows,
+            obs: None,
         }
     }
 
@@ -491,6 +529,7 @@ mod tests {
         let rep: ThroughputReport = serde_json::from_str(text).expect("old-format baseline");
         assert_eq!(rep.rows[0].steady_allocs_per_access, 0.0);
         assert_eq!(rep.rows[0].warmup_allocs_per_access, 0.0);
+        assert!(rep.obs.is_none(), "missing obs section defaults to None");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 use ulc_bench::alloc_stats::{reset, snapshot};
 use ulc_core::{UlcConfig, UlcSingle};
 use ulc_hierarchy::{AccessOutcome, EvictionBased, MultiLevelPolicy, UniLru, UniLruVariant};
+#[cfg(feature = "obs")]
+use ulc_obs::Observe;
 use ulc_trace::patterns::{LoopingPattern, Pattern};
 use ulc_trace::Trace;
 
@@ -49,5 +51,38 @@ fn settled_engines_do_not_allocate_per_access() {
         steady_allocs(evict, &trace),
         0,
         "evict-reload steady state allocated"
+    );
+}
+
+/// The §5f contract must hold with a live observability recorder
+/// attached (DESIGN.md §5h): the ring is pre-allocated and the registry
+/// is index arithmetic, so recording every event adds zero steady-state
+/// allocations. Attaching the recorder allocates once, before the
+/// measured phase.
+#[cfg(feature = "obs")]
+#[test]
+fn settled_engines_do_not_allocate_per_access_while_recording() {
+    fn with_recorder<P: MultiLevelPolicy + Observe>(mut policy: P) -> P {
+        let levels = policy.num_levels();
+        policy.obs_mut().enable(levels, 1 << 12);
+        policy
+    }
+
+    let trace = LoopingPattern::new(900).generate(60_000);
+    let ulc = with_recorder(UlcSingle::new(UlcConfig::new(vec![400, 400, 400])));
+    assert_eq!(steady_allocs(ulc, &trace), 0, "ULC allocated while recording");
+
+    let uni = with_recorder(UniLru::multi_client(
+        vec![400],
+        vec![400, 400],
+        UniLruVariant::MruInsert,
+    ));
+    assert_eq!(steady_allocs(uni, &trace), 0, "uniLRU allocated while recording");
+
+    let evict = with_recorder(EvictionBased::new(vec![400], 800, 7));
+    assert_eq!(
+        steady_allocs(evict, &trace),
+        0,
+        "evict-reload allocated while recording"
     );
 }

@@ -45,6 +45,7 @@ use crate::stack::{Placement, UniLruStack};
 use ulc_cache::LruStack;
 use ulc_hierarchy::plane::{DeliveryBatch, Direction, Message, MessagePlane, ReliablePlane, RpcFate};
 use ulc_hierarchy::{AccessOutcome, FaultSummary, MultiLevelPolicy};
+use ulc_obs::{Observe, ObsHandle};
 use ulc_trace::{BlockId, BlockMap, ClientId, TableMode};
 
 /// The server's global LRU stack with per-block owners.
@@ -219,6 +220,9 @@ pub struct UlcMulti<P: MessagePlane = ReliablePlane> {
     inbox: DeliveryBatch,
     notices: DeliveryBatch,
     crash_buf: Vec<usize>,
+    /// Observability hooks (no-op unless the `obs` feature is on and a
+    /// recorder has been attached; DESIGN.md §5h).
+    obs: ObsHandle,
     #[cfg(feature = "debug_invariants")]
     tick: u64,
 }
@@ -273,6 +277,7 @@ impl UlcMulti {
             inbox: DeliveryBatch::new(),
             notices: DeliveryBatch::new(),
             crash_buf: Vec::new(),
+            obs: ObsHandle::default(),
             #[cfg(feature = "debug_invariants")]
             tick: 0,
         }
@@ -295,6 +300,7 @@ impl<P: MessagePlane> UlcMulti<P> {
             inbox: self.inbox,
             notices: self.notices,
             crash_buf: self.crash_buf,
+            obs: self.obs,
             #[cfg(feature = "debug_invariants")]
             tick: self.tick,
         }
@@ -411,6 +417,9 @@ impl<P: MessagePlane> UlcMulti<P> {
     /// delivered with their next successful response.
     fn apply_effect(&mut self, effect: CacheRequestEffect, block: BlockId, requester: u32) {
         if let Some((victim, owner)) = effect.replaced {
+            // The victim leaves the server (the bottom level) for L_out
+            // right now, whichever client gets the delayed notice.
+            self.obs.on_evict(1, victim.raw());
             if owner == requester {
                 Self::apply_replacement(&mut self.clients[owner as usize], victim);
             } else {
@@ -448,6 +457,7 @@ impl<P: MessagePlane> UlcMulti<P> {
         if self.clients[requester as usize].stack.cached_level(block) == Some(0) {
             self.recovery.residency_violations_detected += 1;
             self.recovery.residency_violations_repaired += 1;
+            self.obs.on_fault(1, block.raw());
             return;
         }
         let effect = self.server.cache_request(block, requester);
@@ -543,6 +553,7 @@ impl<P: MessagePlane> UlcMulti<P> {
     // lint:cold-path NACK/restart reconciliation, off the steady-state access path
     pub fn reconcile_client(&mut self, c: usize) {
         self.recovery.reconciliation_rounds += 1;
+        self.obs.on_reconcile(c);
         self.nack_sweep(c);
         self.repair_residency(c);
     }
@@ -578,6 +589,7 @@ impl<P: MessagePlane> UlcMulti<P> {
     pub fn reconcile(&mut self) {
         for c in 0..self.clients.len() {
             self.recovery.reconciliation_rounds += 1;
+            self.obs.on_reconcile(c);
             self.repair_residency(c);
         }
         for c in 0..self.clients.len() {
@@ -622,6 +634,7 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
         out.reset(1);
+        self.obs.begin_access();
         self.plane.tick();
         self.apply_crashes();
         // Directives from any client that became due reach the server
@@ -635,6 +648,10 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
 
         // The demand-read exchange for this reference.
         let fate = self.plane.rpc(c);
+        self.obs.on_rpc();
+        if fate != RpcFate::Delivered {
+            self.obs.on_fault(1, block.raw());
+        }
 
         // 1. Delayed notifications arrive with this request's response —
         //    so only when the response actually made it back.
@@ -665,6 +682,10 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
         } else {
             None
         };
+        match hit_level {
+            Some(level) => self.obs.on_hit(level, block.raw()),
+            None => self.obs.on_miss(block.raw()),
+        }
 
         // 4. The client's placement decision. §3.2.1's initialisation rule
         //    applies globally: blocks with no usable history claim a
@@ -680,6 +701,19 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
                 .set_external_full(1, self.server.is_full());
         }
         let res = self.clients[c].stack.access_into(block, &mut self.scratch);
+        for &(b, from, to) in &self.scratch.demoted {
+            for m in from..to {
+                self.obs.on_demote(m, b.raw());
+            }
+        }
+        for &b in &self.scratch.evicted {
+            self.obs.on_evict(1, b.raw());
+        }
+        let dest = match res.placed {
+            Placement::Level(i) => i,
+            Placement::Uncached => 2,
+        };
+        self.obs.on_retrieve(dest, block.raw());
 
         // 5. Direct the server accordingly.
         match res.placed {
@@ -749,6 +783,16 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
         let mut s = self.recovery;
         self.plane.accounting().fold_into(&mut s);
         s
+    }
+}
+
+impl<P: MessagePlane> Observe for UlcMulti<P> {
+    fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut ObsHandle {
+        &mut self.obs
     }
 }
 

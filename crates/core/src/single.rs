@@ -10,6 +10,7 @@ use crate::scratch::AccessScratch;
 use crate::stack::{Placement, UniLruStack};
 use ulc_cache::LruStack;
 use ulc_hierarchy::{AccessOutcome, MultiLevelPolicy};
+use ulc_obs::{Observe, ObsHandle};
 use ulc_trace::{BlockId, ClientId, TableMode};
 
 /// Configuration for the single-client ULC protocol.
@@ -90,6 +91,9 @@ pub struct UlcSingle {
     /// Reusable per-access buffers; once their high-water marks settle the
     /// steady-state access path performs no heap allocation (DESIGN.md §5f).
     scratch: AccessScratch,
+    /// Observability hooks (no-op unless the `obs` feature is on and a
+    /// recorder has been attached; DESIGN.md §5h).
+    obs: ObsHandle,
 }
 
 impl UlcSingle {
@@ -120,6 +124,7 @@ impl UlcSingle {
             config,
             messages: MessageStats::new(levels),
             scratch: AccessScratch::new(),
+            obs: ObsHandle::default(),
         }
     }
 
@@ -140,6 +145,28 @@ impl UlcSingle {
     /// Panics if an invariant is violated.
     pub fn check_invariants(&self) {
         self.stack.check_invariants();
+    }
+
+    /// Records the stack's side effects for this access as events:
+    /// one `Demote` per boundary each demoted block crossed (matching
+    /// the `demotions` transfer counters exactly), one `Evict` per block
+    /// that fell out of the bottom level, and the `Retrieve` placing the
+    /// accessed block (destination `num_levels` = settled uncached).
+    fn record_stack_effects(&mut self, block: BlockId, placed: Placement) {
+        for &(b, from, to) in &self.scratch.demoted {
+            for m in from..to {
+                self.obs.on_demote(m, b.raw());
+            }
+        }
+        let bottom = self.stack.num_levels() - 1;
+        for &b in &self.scratch.evicted {
+            self.obs.on_evict(bottom, b.raw());
+        }
+        let dest = match placed {
+            Placement::Level(i) => i,
+            Placement::Uncached => self.stack.num_levels(),
+        };
+        self.obs.on_retrieve(dest, block.raw());
     }
 
     fn note_temp_lru(&mut self, block: BlockId, placed: Placement) {
@@ -171,6 +198,7 @@ impl MultiLevelPolicy for UlcSingle {
             "single-client protocol serves exactly one client"
         );
         out.reset(self.stack.num_levels() - 1);
+        self.obs.begin_access();
         if self.config.count_temp_lru_hits && self.temp_lru.contains(&block) {
             // Ablation mode: the block is still in client memory.
             self.temp_lru.touch(block);
@@ -178,6 +206,8 @@ impl MultiLevelPolicy for UlcSingle {
             let res = self.stack.access_into(block, &mut self.scratch);
             out.hit_level = Some(0);
             out.demotions.copy_from_slice(self.scratch.demotions.as_slice());
+            self.obs.on_hit(0, block.raw());
+            self.record_stack_effects(block, res.placed);
             self.note_temp_lru(block, res.placed);
             return;
         }
@@ -190,6 +220,11 @@ impl MultiLevelPolicy for UlcSingle {
         for (b, &d) in self.scratch.demotions.iter().enumerate() {
             self.messages.demotes_by_boundary[b] += d as u64;
         }
+        match res.found.level() {
+            Some(level) => self.obs.on_hit(level, block.raw()),
+            None => self.obs.on_miss(block.raw()),
+        }
+        self.record_stack_effects(block, res.placed);
         self.note_temp_lru(block, res.placed);
         out.hit_level = res.found.level();
         out.demotions.copy_from_slice(self.scratch.demotions.as_slice());
@@ -201,6 +236,16 @@ impl MultiLevelPolicy for UlcSingle {
 
     fn name(&self) -> &'static str {
         "ULC"
+    }
+}
+
+impl Observe for UlcSingle {
+    fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut ObsHandle {
+        &mut self.obs
     }
 }
 

@@ -22,6 +22,9 @@ use ulc_hierarchy::plane::{FaultScenario, FaultyPlane};
 use ulc_hierarchy::{simulate, MultiLevelPolicy, UniLru};
 use ulc_trace::{synthetic, BlockId, ClientId, Trace};
 
+mod common;
+use common::assert_fully_recovered;
+
 /// A randomized fault scenario: rates are kept below 40% so runs retain
 /// enough successful traffic to exercise the recovery paths (a 100%-drop
 /// plane trivially satisfies the invariants by doing nothing).
@@ -67,15 +70,7 @@ proptest! {
         let stats = simulate(&mut p, &trace, 0);
         prop_assert_eq!(stats.references as usize, trace.len());
         p.check_recoverable_invariants();
-        p.settle();
-        p.reconcile();
-        p.check_invariants();
-        let s = p.fault_summary();
-        prop_assert_eq!(
-            s.residency_violations_detected,
-            s.residency_violations_repaired,
-            "unrepaired residency violations"
-        );
+        assert_fully_recovered(&mut p);
     }
 
     /// Multi-client ULC under chaos: the same recovery contract, plus the
@@ -91,15 +86,7 @@ proptest! {
             let _ = p.access(ClientId::new(c), BlockId::new(b));
         }
         p.check_recoverable_invariants();
-        p.settle();
-        p.reconcile();
-        p.check_invariants();
-        let s = p.fault_summary();
-        prop_assert_eq!(
-            s.residency_violations_detected,
-            s.residency_violations_repaired,
-            "unrepaired residency violations"
-        );
+        assert_fully_recovered(&mut p);
     }
 
     /// The scenario DSL round-trips: parsing the rendered parameters of a
@@ -139,9 +126,7 @@ fn seeded_chaos_scenario_recovers() {
     assert_eq!(stats.faults.crashes, 1);
     assert!(stats.faults.messages_dropped > 0);
     assert!(stats.total_hit_rate() > 0.0, "the hierarchy keeps serving");
-    uni.settle();
-    uni.reconcile();
-    uni.check_invariants();
+    assert_fully_recovered(&mut uni);
 
     let tm = synthetic::httpd_multi(30_000);
     let mut ulc =
@@ -152,9 +137,5 @@ fn seeded_chaos_scenario_recovers() {
         stats.faults.reconciliation_rounds >= 7,
         "every client rebuilds its status table after the server crash"
     );
-    ulc.settle();
-    ulc.reconcile();
-    ulc.check_invariants();
-    let s = ulc.fault_summary();
-    assert_eq!(s.residency_violations_detected, s.residency_violations_repaired);
+    assert_fully_recovered(&mut ulc);
 }

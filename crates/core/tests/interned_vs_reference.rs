@@ -13,7 +13,7 @@
 //! proof that the throughput rework perturbed no figure.
 
 use ulc_core::{UlcConfig, UlcMulti, UlcMultiConfig, UlcSingle};
-use ulc_hierarchy::plane::{FaultScenario, FaultyPlane};
+use ulc_hierarchy::plane::FaultyPlane;
 use ulc_hierarchy::reference::MapReliablePlane;
 use ulc_hierarchy::{
     simulate, DemotionBuffer, EvictionBased, IndLru, MultiLevelPolicy, SimStats, UniLru,
@@ -21,19 +21,8 @@ use ulc_hierarchy::{
 };
 use ulc_trace::{synthetic, TableMode, Trace};
 
-/// The single-client workloads of the §2.2/§4.3 studies, at smoke scale.
-fn single_client_workloads() -> Vec<(&'static str, Trace)> {
-    synthetic::small_suite(20_000)
-}
-
-/// The multi-client workloads of the §4.4 study, at smoke scale.
-fn multi_client_workloads() -> Vec<(&'static str, Trace, usize)> {
-    vec![
-        ("httpd", synthetic::httpd_multi(30_000), 7),
-        ("openmail", synthetic::openmail(30_000, 24_000), 6),
-        ("db2", synthetic::db2_multi(30_000, 16_000), 8),
-    ]
-}
+mod common;
+use common::{multi_client_workloads, single_client_workloads};
 
 /// Runs the interned protocol and its map-backed reference twin over
 /// `trace` and asserts the full `SimStats` structs are bit-identical.
@@ -45,12 +34,7 @@ where
     let warmup = trace.warmup_len();
     let sd: SimStats = simulate(&mut dense, trace, warmup);
     let sh: SimStats = simulate(&mut hashed, trace, warmup);
-    assert_eq!(sd, sh, "{name}: interned vs reference stats diverged");
-    assert_eq!(
-        sd.total_hit_rate().to_bits(),
-        sh.total_hit_rate().to_bits(),
-        "{name}: hit rate diverged"
-    );
+    common::assert_stats_bit_identical(name, &sd, &sh);
 }
 
 #[test]
@@ -152,7 +136,7 @@ fn faulty_plane_runs_match_reference_tables_exactly() {
     // delays, a crash) is a pure function of the scenario, independent of
     // the table representation — so Dense and Hashed tables must still
     // produce bit-identical stats, recovery counters included.
-    let scenario = FaultScenario::mild(97).with_crash(15_000, 1);
+    let scenario = common::crashy_mild_scenario();
 
     let tm = synthetic::httpd_multi(30_000);
     let dense = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048))

@@ -18,19 +18,8 @@ use ulc_hierarchy::{
 };
 use ulc_trace::{synthetic, Trace};
 
-/// The single-client workloads of the §2.2/§4.3 studies, at smoke scale.
-fn single_client_workloads() -> Vec<(&'static str, Trace)> {
-    synthetic::small_suite(20_000)
-}
-
-/// The multi-client workloads of the §4.4 study, at smoke scale.
-fn multi_client_workloads() -> Vec<(&'static str, Trace, usize)> {
-    vec![
-        ("httpd", synthetic::httpd_multi(30_000), 7),
-        ("openmail", synthetic::openmail(30_000, 24_000), 6),
-        ("db2", synthetic::db2_multi(30_000, 16_000), 8),
-    ]
-}
+mod common;
+use common::{multi_client_workloads, single_client_workloads};
 
 /// Runs `build(faulty?)` over `trace` on both planes and asserts the full
 /// `SimStats` match bit for bit. The zero-fault run must also report a

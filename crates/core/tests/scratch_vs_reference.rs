@@ -14,56 +14,15 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use ulc_core::{AccessScratch, UlcConfig, UlcMulti, UlcMultiConfig, UlcSingle, UniLruStack};
-use ulc_hierarchy::plane::{FaultScenario, FaultyPlane};
+use ulc_hierarchy::plane::FaultyPlane;
 use ulc_hierarchy::{
-    AccessOutcome, EvictionBased, IndLru, LruMqServer, MultiLevelPolicy, SimStats, UniLru,
+    EvictionBased, IndLru, LruMqServer, MultiLevelPolicy, UniLru,
     UniLruVariant,
 };
 use ulc_trace::{synthetic, BlockId, Trace};
 
-/// The single-client workloads of the §2.2/§4.3 studies, at smoke scale.
-fn single_client_workloads() -> Vec<(&'static str, Trace)> {
-    synthetic::small_suite(20_000)
-}
-
-/// Drives `policy` through the by-value `access()` wrapper — the
-/// reference semantics with fresh buffers per reference.
-fn simulate_by_value<P: MultiLevelPolicy>(policy: &mut P, trace: &Trace, warmup: usize) -> SimStats {
-    let mut stats = SimStats::new(policy.num_levels());
-    for (i, r) in trace.iter().enumerate() {
-        let out = policy.access(r.client, r.block);
-        if i >= warmup {
-            stats.record(&out);
-        }
-    }
-    stats.faults = policy.fault_summary();
-    stats
-}
-
-/// Drives `policy` through `access_into` with one pooled outcome that is
-/// deliberately dirty at the start (stale hit level, garbage counters
-/// sized for a nine-boundary hierarchy) and reused across every
-/// reference — the steady-state hot path. The per-access reset contract
-/// must make the dirt invisible.
-fn simulate_pooled_dirty<P: MultiLevelPolicy>(
-    policy: &mut P,
-    trace: &Trace,
-    warmup: usize,
-) -> SimStats {
-    let mut stats = SimStats::new(policy.num_levels());
-    let mut out = AccessOutcome::hit(3, 9);
-    for d in out.demotions.iter_mut() {
-        *d = 0xDEAD;
-    }
-    for (i, r) in trace.iter().enumerate() {
-        policy.access_into(r.client, r.block, &mut out);
-        if i >= warmup {
-            stats.record(&out);
-        }
-    }
-    stats.faults = policy.fault_summary();
-    stats
-}
+mod common;
+use common::{simulate_by_value, simulate_pooled_dirty, single_client_workloads};
 
 /// Runs two fresh instances of the same configuration, one per driver,
 /// and asserts the full `SimStats` structs are bit-identical.
@@ -71,12 +30,7 @@ fn assert_identical<P: MultiLevelPolicy>(name: &str, trace: &Trace, mut by_value
     let warmup = trace.warmup_len();
     let sv = simulate_by_value(&mut by_value, trace, warmup);
     let sp = simulate_pooled_dirty(&mut pooled, trace, warmup);
-    assert_eq!(sv, sp, "{name}: by-value vs pooled stats diverged");
-    assert_eq!(
-        sv.total_hit_rate().to_bits(),
-        sp.total_hit_rate().to_bits(),
-        "{name}: hit rate diverged"
-    );
+    common::assert_stats_bit_identical(name, &sv, &sp);
 }
 
 #[test]
@@ -149,12 +103,7 @@ fn mq_server_pooled_path_matches_by_value() {
 
 #[test]
 fn ulc_multi_pooled_path_matches_by_value() {
-    let workloads: Vec<(&str, Trace, usize)> = vec![
-        ("httpd", synthetic::httpd_multi(30_000), 7),
-        ("openmail", synthetic::openmail(30_000, 24_000), 6),
-        ("db2", synthetic::db2_multi(30_000, 16_000), 8),
-    ];
-    for (name, trace, clients) in workloads {
+    for (name, trace, clients) in common::multi_client_workloads() {
         let config = UlcMultiConfig::uniform(clients, 256, 2048);
         assert_identical(
             &format!("ULC/{name}"),
@@ -172,7 +121,7 @@ fn faulty_plane_pooled_path_matches_by_value() {
     // of which buffer the caller hands in — so the pooled `deliver_into`
     // and `take_crashes_into` paths must replay the exact fate sequence
     // of the by-value wrappers, recovery counters included.
-    let scenario = FaultScenario::mild(97).with_crash(15_000, 1);
+    let scenario = common::crashy_mild_scenario();
 
     let tm = synthetic::httpd_multi(30_000);
     assert_identical(

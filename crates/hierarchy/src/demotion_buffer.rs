@@ -11,6 +11,7 @@
 
 use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
+use ulc_obs::{Observe, ObsHandle};
 use ulc_trace::{BlockId, ClientId};
 
 /// Wraps a protocol, absorbing demotions into per-boundary buffers.
@@ -72,7 +73,7 @@ impl<P: MultiLevelPolicy> DemotionBuffer<P> {
     }
 }
 
-impl<P: MultiLevelPolicy> MultiLevelPolicy for DemotionBuffer<P> {
+impl<P: MultiLevelPolicy + Observe> MultiLevelPolicy for DemotionBuffer<P> {
     fn access(&mut self, client: ClientId, block: BlockId) -> AccessOutcome {
         // allocation-free path is access_into.
         let mut out = AccessOutcome::miss(self.num_levels().saturating_sub(1));
@@ -91,6 +92,10 @@ impl<P: MultiLevelPolicy> MultiLevelPolicy for DemotionBuffer<P> {
                 if self.queues[b] + 1.0 <= self.buffer_capacity {
                     self.queues[b] += 1.0;
                     self.hidden += 1;
+                    // The inner engine already recorded the Demote event;
+                    // mark it as absorbed so the conservation ledger can
+                    // balance events against the surfaced SimStats count.
+                    self.inner.obs_mut().on_demote_buffered(b);
                 } else {
                     kept += 1;
                     self.exposed += 1;
@@ -119,6 +124,16 @@ impl<P: MultiLevelPolicy> MultiLevelPolicy for DemotionBuffer<P> {
         let mut s = self.inner.fault_summary();
         s.overflow_drops += self.exposed;
         s
+    }
+}
+
+impl<P: Observe> Observe for DemotionBuffer<P> {
+    fn obs(&self) -> &ObsHandle {
+        self.inner.obs()
+    }
+
+    fn obs_mut(&mut self) -> &mut ObsHandle {
+        self.inner.obs_mut()
     }
 }
 

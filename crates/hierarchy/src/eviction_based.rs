@@ -23,6 +23,7 @@ use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
 use std::collections::VecDeque;
 use ulc_cache::LruCache;
+use ulc_obs::{Observe, ObsHandle};
 use ulc_trace::{BlockId, BlockMap, ClientId, TableMode};
 
 /// Two-level eviction-based placement: LRU client over an LRU server,
@@ -46,6 +47,9 @@ pub struct EvictionBased<P: MessagePlane = ReliablePlane> {
     /// steady-state order drain performs no heap allocation (DESIGN.md §5f).
     batch: DeliveryBatch,
     crash_buf: Vec<usize>,
+    /// Observability hooks (no-op unless the `obs` feature is on and a
+    /// recorder has been attached; DESIGN.md §5h).
+    obs: ObsHandle,
 }
 
 impl EvictionBased {
@@ -98,6 +102,7 @@ impl EvictionBased {
             plane: ReliablePlane::new(),
             batch: DeliveryBatch::new(),
             crash_buf: Vec::new(),
+            obs: ObsHandle::default(),
         }
     }
 }
@@ -117,6 +122,7 @@ impl<P: MessagePlane> EvictionBased<P> {
             plane,
             batch: self.batch,
             crash_buf: self.crash_buf,
+            obs: self.obs,
         }
     }
 
@@ -139,7 +145,10 @@ impl<P: MessagePlane> EvictionBased<P> {
             self.order.pop_front();
             // Cancelled reloads have been removed from `pending`.
             if self.pending.remove(block).is_some() {
-                self.server.insert_mru(block);
+                self.obs.on_retrieve(1, block.raw());
+                if let Some(victim) = self.server.insert_mru(block) {
+                    self.obs.on_evict(1, victim.raw());
+                }
             }
         }
     }
@@ -195,6 +204,7 @@ impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
     fn access_into(&mut self, client: ClientId, block: BlockId, out: &mut AccessOutcome) {
         self.now += 1;
         out.reset(1);
+        self.obs.begin_access();
         self.plane.tick();
         self.apply_crashes();
         self.apply_reload_orders();
@@ -205,10 +215,16 @@ impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
         if self.clients[c].contains(&block) {
             self.clients[c].access(block);
             out.hit_level = Some(0);
+            self.obs.on_hit(0, block.raw());
             return;
         }
-        match self.plane.rpc(0) {
-            RpcFate::RequestLost => {} // the server never saw the read
+        let fate = self.plane.rpc(0);
+        self.obs.on_rpc();
+        match fate {
+            RpcFate::RequestLost => {
+                // The server never saw the read.
+                self.obs.on_fault(1, block.raw());
+            }
             fate => {
                 if self.server.contains(&block) {
                     // Exclusive promotion, like DEMOTE. On a lost reply the
@@ -217,6 +233,8 @@ impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
                     self.server.remove(&block);
                     if fate == RpcFate::Delivered {
                         out.hit_level = Some(1);
+                    } else {
+                        self.obs.on_fault(1, block.raw());
                     }
                 } else if self.pending.remove(block).is_some() {
                     // Reload window: the block is on its way from disk but
@@ -227,6 +245,12 @@ impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
                 }
             }
         }
+        match out.hit_level {
+            Some(level) => self.obs.on_hit(level, block.raw()),
+            None => self.obs.on_miss(block.raw()),
+        }
+        // The block always ends up at the requesting client.
+        self.obs.on_retrieve(0, block.raw());
         if let Some(victim) = self.clients[c].insert_mru(block) {
             // Reload from disk instead of demoting: no transfer counted —
             // only the reload order crosses the wire.
@@ -248,6 +272,16 @@ impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
         let mut s = FaultSummary::default();
         self.plane.accounting().fold_into(&mut s);
         s
+    }
+}
+
+impl<P: MessagePlane> Observe for EvictionBased<P> {
+    fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut ObsHandle {
+        &mut self.obs
     }
 }
 

@@ -21,6 +21,7 @@ use crate::plane::{MessagePlane, ReliablePlane, RpcFate};
 use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
 use ulc_cache::LruCache;
+use ulc_obs::{Observe, ObsHandle};
 use ulc_trace::{BlockId, ClientId};
 
 /// Independent per-level LRU over a hierarchy with private client caches
@@ -34,6 +35,9 @@ pub struct IndLru<P: MessagePlane = ReliablePlane> {
     /// Pooled crash buffer, recycled across accesses so the steady-state
     /// path performs no heap allocation (DESIGN.md §5f).
     crash_buf: Vec<usize>,
+    /// Observability hooks (no-op unless the `obs` feature is on and a
+    /// recorder has been attached; DESIGN.md §5h).
+    obs: ObsHandle,
 }
 
 impl IndLru {
@@ -64,6 +68,7 @@ impl IndLru {
             shared: shared_capacities.into_iter().map(LruCache::new).collect(),
             plane: ReliablePlane::new(),
             crash_buf: Vec::new(),
+            obs: ObsHandle::default(),
         }
     }
 }
@@ -76,6 +81,7 @@ impl<P: MessagePlane> IndLru<P> {
             shared: self.shared,
             plane,
             crash_buf: self.crash_buf,
+            obs: self.obs,
         }
     }
 
@@ -117,26 +123,45 @@ impl<P: MessagePlane> MultiLevelPolicy for IndLru<P> {
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
         out.reset(boundaries);
+        self.obs.begin_access();
         self.plane.tick();
         self.apply_crashes();
         if self.clients[c].access(block).is_hit() {
             out.hit_level = Some(0);
+            self.obs.on_hit(0, block.raw());
             return;
         }
-        for (i, level) in self.shared.iter_mut().enumerate() {
-            match self.plane.rpc(i) {
-                RpcFate::RequestLost => continue, // the level never saw it
+        // The client miss installed the block there (inclusive caching).
+        self.obs.on_retrieve(0, block.raw());
+        for i in 0..self.shared.len() {
+            let fate = self.plane.rpc(i);
+            self.obs.on_rpc();
+            match fate {
+                RpcFate::RequestLost => {
+                    // The level never saw it.
+                    self.obs.on_fault(i + 1, block.raw());
+                    continue;
+                }
                 fate => {
-                    let hit = level.access(block).is_hit();
+                    let hit = self.shared[i].access(block).is_hit();
+                    if !hit {
+                        self.obs.on_retrieve(i + 1, block.raw());
+                    }
                     if hit && fate == RpcFate::Delivered {
                         out.hit_level = Some(i + 1);
+                        self.obs.on_hit(i + 1, block.raw());
                         return;
                     }
-                    // Reply lost: the level installed/served the block but
-                    // the client never heard; fall through to the next.
+                    if hit {
+                        // Reply lost: the level served — and refreshed —
+                        // the block, but the client never heard; fall
+                        // through to the next level.
+                        self.obs.on_fault(i + 1, block.raw());
+                    }
                 }
             }
         }
+        self.obs.on_miss(block.raw());
     }
 
     fn num_levels(&self) -> usize {
@@ -151,6 +176,16 @@ impl<P: MessagePlane> MultiLevelPolicy for IndLru<P> {
         let mut s = FaultSummary::default();
         self.plane.accounting().fold_into(&mut s);
         s
+    }
+}
+
+impl<P: MessagePlane> Observe for IndLru<P> {
+    fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut ObsHandle {
+        &mut self.obs
     }
 }
 

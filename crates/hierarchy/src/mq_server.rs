@@ -8,6 +8,7 @@
 
 use crate::{AccessOutcome, MultiLevelPolicy};
 use ulc_cache::{LruCache, MqConfig, MultiQueue};
+use ulc_obs::{Observe, ObsHandle};
 use ulc_trace::{BlockId, ClientId};
 
 /// Independent LRU clients over one shared MQ server (two levels).
@@ -15,6 +16,9 @@ use ulc_trace::{BlockId, ClientId};
 pub struct LruMqServer {
     clients: Vec<LruCache<BlockId>>,
     server: MultiQueue<BlockId>,
+    /// Observability hooks (no-op unless the `obs` feature is on and a
+    /// recorder has been attached; DESIGN.md §5h).
+    obs: ObsHandle,
 }
 
 impl LruMqServer {
@@ -50,6 +54,7 @@ impl LruMqServer {
         LruMqServer {
             clients: client_capacities.into_iter().map(LruCache::new).collect(),
             server: MultiQueue::new(server_capacity, config),
+            obs: ObsHandle::default(),
         }
     }
 }
@@ -66,13 +71,21 @@ impl MultiLevelPolicy for LruMqServer {
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
         out.reset(1);
+        self.obs.begin_access();
         if self.clients[c].access(block).is_hit() {
             out.hit_level = Some(0);
+            self.obs.on_hit(0, block.raw());
             return;
         }
+        // The client miss installed the block there (inclusive caching).
+        self.obs.on_retrieve(0, block.raw());
         // The server sees the client's miss stream, MQ-managed.
         if self.server.access(block).is_hit() {
             out.hit_level = Some(1);
+            self.obs.on_hit(1, block.raw());
+        } else {
+            self.obs.on_retrieve(1, block.raw());
+            self.obs.on_miss(block.raw());
         }
     }
 
@@ -82,6 +95,16 @@ impl MultiLevelPolicy for LruMqServer {
 
     fn name(&self) -> &'static str {
         "MQ"
+    }
+}
+
+impl Observe for LruMqServer {
+    fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut ObsHandle {
+        &mut self.obs
     }
 }
 

@@ -145,6 +145,21 @@ impl PlaneAccounting {
         s.crashes += self.crashes;
         s.delivery_batches += self.delivery_batches;
     }
+
+    /// Folds the transport-fault tallies into an observability handle's
+    /// `plane_faults` counter (DESIGN.md §5h). Kept separate from the
+    /// protocol-level `Fault` events so transport faults are not counted
+    /// twice.
+    pub fn observe_into(&self, obs: &mut ulc_obs::ObsHandle) {
+        obs.add_plane_faults(
+            self.dropped
+                + self.duplicated
+                + self.reordered
+                + self.overflow_drops
+                + self.rpc_failures
+                + self.crashes,
+        );
+    }
 }
 
 /// A caller-owned, reusable buffer of delivered messages.

@@ -33,6 +33,7 @@ use crate::plane::{DeliveryBatch, Direction, Message, MessagePlane, ReliablePlan
 use crate::stats::FaultSummary;
 use crate::{AccessOutcome, MultiLevelPolicy};
 use ulc_cache::LruCache;
+use ulc_obs::{Observe, ObsHandle};
 use ulc_trace::{BlockId, BlockMap, ClientId, TableMode};
 
 /// Server insertion policy for demoted blocks.
@@ -80,6 +81,9 @@ pub struct UniLru<P: MessagePlane = ReliablePlane> {
     /// steady-state pump performs no heap allocation (DESIGN.md §5f).
     batch: DeliveryBatch,
     crash_buf: Vec<usize>,
+    /// Observability hooks (no-op unless the `obs` feature is on and a
+    /// recorder has been attached; DESIGN.md §5h).
+    obs: ObsHandle,
     #[cfg(feature = "debug_invariants")]
     tick: u64,
 }
@@ -154,6 +158,7 @@ impl UniLru {
             recovery: FaultSummary::default(),
             batch: DeliveryBatch::new(),
             crash_buf: Vec::new(),
+            obs: ObsHandle::default(),
             #[cfg(feature = "debug_invariants")]
             tick: 0,
         }
@@ -175,6 +180,7 @@ impl<P: MessagePlane> UniLru<P> {
             recovery: self.recovery,
             batch: self.batch,
             crash_buf: self.crash_buf,
+            obs: self.obs,
             #[cfg(feature = "debug_invariants")]
             tick: self.tick,
         }
@@ -298,11 +304,13 @@ impl<P: MessagePlane> UniLru<P> {
         if self.clients.len() == 1 && self.clients[0].contains(&block) {
             self.recovery.residency_violations_detected += 1;
             self.recovery.residency_violations_repaired += 1;
+            self.obs.on_fault(j + 1, block.raw());
             return;
         }
         let incoming = if j == 0 {
             if mru {
                 demotions[0] += 1;
+                self.obs.on_demote(0, block.raw());
                 self.demoted_by.insert(block, owner);
                 self.shared[0].insert_mru(block)
             } else {
@@ -310,12 +318,14 @@ impl<P: MessagePlane> UniLru<P> {
                 if evicted != Some(block) {
                     // The block actually entered the server.
                     demotions[0] += 1;
+                    self.obs.on_demote(0, block.raw());
                     self.demoted_by.insert(block, owner);
                 }
                 evicted
             }
         } else {
             demotions[j] += 1;
+            self.obs.on_demote(j, block.raw());
             self.shared[j].insert_mru(block)
         };
         if let Some(w) = incoming {
@@ -334,6 +344,8 @@ impl<P: MessagePlane> UniLru<P> {
                         owner,
                     },
                 );
+            } else {
+                self.obs.on_evict(j + 1, w.raw());
             }
         }
     }
@@ -421,6 +433,7 @@ impl<P: MessagePlane> UniLru<P> {
     /// Violations found are counted as detected and repaired.
     pub fn reconcile(&mut self) {
         self.recovery.reconciliation_rounds += 1;
+        self.obs.on_reconcile(0);
         if self.clients.len() == 1 {
             let cached: Vec<BlockId> = self.clients[0].iter().copied().collect();
             for b in cached {
@@ -481,6 +494,7 @@ impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
         let c = client.as_usize();
         assert!(c < self.clients.len(), "unknown client {client}");
         out.reset(boundaries);
+        self.obs.begin_access();
         self.plane.tick();
         self.apply_crashes();
         self.maybe_flip_epoch(c);
@@ -491,13 +505,20 @@ impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
         if self.clients[c].contains(&block) {
             self.clients[c].access(block); // refresh recency only
             out.hit_level = Some(0);
+            self.obs.on_hit(0, block.raw());
             return;
         }
         // Search the lower levels; promotion is exclusive. Each probe is a
         // demand read crossing boundary `i`.
         for i in 0..self.shared.len() {
-            match self.plane.rpc(i) {
-                RpcFate::RequestLost => continue, // the level never saw it
+            let fate = self.plane.rpc(i);
+            self.obs.on_rpc();
+            match fate {
+                RpcFate::RequestLost => {
+                    // The level never saw it.
+                    self.obs.on_fault(i + 1, block.raw());
+                    continue;
+                }
                 fate => {
                     if self.shared[i].contains(&block) {
                         self.shared[i].remove(&block);
@@ -512,6 +533,7 @@ impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
                             // The level gave the block up but the reply
                             // vanished: the copy is lost in transit and
                             // the reference falls through to disk.
+                            self.obs.on_fault(i + 1, block.raw());
                             continue;
                         }
                         out.hit_level = Some(i + 1);
@@ -520,6 +542,13 @@ impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
                 }
             }
         }
+        match out.hit_level {
+            Some(level) => self.obs.on_hit(level, block.raw()),
+            None => self.obs.on_miss(block.raw()),
+        }
+        // The block always lands at the requesting client (exclusive
+        // promotion on a hit, demand load on a miss).
+        self.obs.on_retrieve(0, block.raw());
         // Install at the client; the client's victim is demoted.
         if let Some(victim) = self.clients[c].insert_mru(block) {
             if self.variant == UniLruVariant::Adaptive {
@@ -553,6 +582,16 @@ impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
         let mut s = self.recovery;
         self.plane.accounting().fold_into(&mut s);
         s
+    }
+}
+
+impl<P: MessagePlane> Observe for UniLru<P> {
+    fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut ObsHandle {
+        &mut self.obs
     }
 }
 

@@ -33,8 +33,12 @@ use crate::rules::FileKind;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Function names that are per-access roots by convention: the pooled
-/// scratch-engine entry points of every protocol and message plane.
-pub const ROOT_FN_NAMES: [&str; 3] = ["access_into", "deliver_into", "take_crashes_into"];
+/// scratch-engine entry points of every protocol and message plane, plus
+/// the observability recording path (`RingRecorder::record_event`) whose
+/// steady-state body must stay allocation-free with a recorder attached
+/// (DESIGN.md §5h).
+pub const ROOT_FN_NAMES: [&str; 4] =
+    ["access_into", "deliver_into", "take_crashes_into", "record_event"];
 
 /// Marker comment that adds the next function to the root set.
 pub const HOT_ROOT_MARKER: &str = "lint:hot-root";

@@ -137,8 +137,8 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         RULE_HOT_PATH_ALLOC => Some(
             "Zero steady-state allocations per access (DESIGN.md §5f): no function \
              transitively reachable from a per-access root — access_into/\
-             deliver_into/take_crashes_into bodies plus // lint:hot-root marks — \
-             may heap allocate. The diagnostic prints the call chain from the root \
+             deliver_into/take_crashes_into/record_event bodies plus \
+             // lint:hot-root marks — may heap allocate. The diagnostic prints the call chain from the root \
              to the allocation site. Route variable-length side effects through \
              the pooled AccessScratch/DeliveryBatch buffers, or prune deliberate \
              non-steady-state code (crash recovery) with // lint:cold-path reason.",

@@ -1,0 +1,99 @@
+//! Property-based tests for [`ReuseHistogram`] merging: the fold used by
+//! parallel sweep workers must be associative and commutative, and bucket
+//! counts must be conserved when a workload is split and re-merged.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ulc_measures::ReuseHistogram;
+use ulc_trace::{BlockId, Trace};
+
+const EDGES: [usize; 3] = [4, 16, 64];
+
+fn trace_of(blocks: &[u64]) -> Trace {
+    Trace::from_blocks(blocks.iter().copied().map(BlockId::new))
+}
+
+fn hist_of(blocks: &[u64]) -> ReuseHistogram {
+    ReuseHistogram::compute(&trace_of(blocks), &EDGES)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging two worker histograms conserves every bucket count, the
+    /// cold count and the total.
+    #[test]
+    fn merge_conserves_bucket_counts(
+        a in vec(0u64..40, 1..120),
+        b in vec(0u64..40, 1..120),
+    ) {
+        let ha = hist_of(&a);
+        let hb = hist_of(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        for (i, &n) in merged.counts.iter().enumerate() {
+            prop_assert_eq!(n, ha.counts[i] + hb.counts[i], "bucket {}", i);
+        }
+        prop_assert_eq!(merged.cold, ha.cold + hb.cold);
+        prop_assert_eq!(merged.total, ha.total + hb.total);
+    }
+
+    /// The fold is commutative: worker completion order cannot matter.
+    #[test]
+    fn merge_is_commutative(
+        a in vec(0u64..40, 1..120),
+        b in vec(0u64..40, 1..120),
+    ) {
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// The fold is associative: workers can be folded in any grouping.
+    #[test]
+    fn merge_is_associative(
+        a in vec(0u64..40, 1..80),
+        b in vec(0u64..40, 1..80),
+        c in vec(0u64..40, 1..80),
+    ) {
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        let mut bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Splitting a trace on a boundary and merging the two halves gives
+    /// exactly the whole-trace histogram, up to the reuse pairs the split
+    /// severs: every severed pair turns one re-reference into a cold
+    /// access, so totals always match and `cold` can only grow.
+    #[test]
+    fn split_merge_conserves_totals(
+        blocks in vec(0u64..20, 2..160),
+        split_at in 1usize..159,
+    ) {
+        let split = split_at.min(blocks.len() - 1);
+        let whole = hist_of(&blocks);
+        let mut merged = hist_of(&blocks[..split]);
+        merged.merge(&hist_of(&blocks[split..]));
+        prop_assert_eq!(merged.total, whole.total);
+        prop_assert!(merged.cold >= whole.cold);
+        let merged_refs: u64 = merged.counts.iter().sum::<u64>() + merged.cold;
+        let whole_refs: u64 = whole.counts.iter().sum::<u64>() + whole.cold;
+        prop_assert_eq!(merged_refs, whole_refs);
+    }
+}
+
+#[test]
+#[should_panic(expected = "different bucket edges")]
+fn merge_rejects_mismatched_edges() {
+    let t = trace_of(&[1, 2, 3]);
+    let mut a = ReuseHistogram::compute(&t, &[4, 16]);
+    let b = ReuseHistogram::compute(&t, &[8, 32]);
+    a.merge(&b);
+}

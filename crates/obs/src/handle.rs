@@ -1,0 +1,305 @@
+//! `ObsHandle` — the engine-facing switch of the observability plane.
+//!
+//! Every instrumented engine owns one `ObsHandle` and calls its `on_*`
+//! hooks from `access_into`. The handle has two compilations:
+//!
+//! * **`enabled` feature off** (the default): a zero-sized struct whose
+//!   methods are empty `#[inline]` bodies. The hooks vanish entirely —
+//!   no branch, no field, no cost — so the uninstrumented hot path is
+//!   bit-for-bit the PR 5 one.
+//! * **`enabled` feature on**: an `Option<Box<RingRecorder>>`. Until
+//!   [`ObsHandle::enable`] is called the option is `None` and every hook
+//!   is one well-predicted branch; after it, hooks record into the
+//!   pre-allocated ring and registry without allocating.
+//!
+//! The [`Observe`] trait is how generic drivers (the throughput
+//! harness, the conservation suites, `DemotionBuffer`) reach the handle
+//! of a policy they only know as `P: MultiLevelPolicy + Observe`.
+
+#[cfg(feature = "enabled")]
+use crate::event::EventKind;
+#[cfg(feature = "enabled")]
+use crate::metrics::CounterId;
+use crate::metrics::HistId;
+use crate::recorder::RingRecorder;
+#[cfg(feature = "enabled")]
+use crate::recorder::Recorder;
+
+/// Live variant: an optional boxed [`RingRecorder`].
+#[cfg(feature = "enabled")]
+#[derive(Clone, Debug, Default)]
+pub struct ObsHandle {
+    rec: Option<Box<RingRecorder>>,
+}
+
+/// Disabled variant: a zero-sized no-op.
+#[cfg(not(feature = "enabled"))]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObsHandle {}
+
+#[cfg(feature = "enabled")]
+impl ObsHandle {
+    /// A handle with no recorder attached (hooks are cheap branches).
+    pub fn disabled() -> Self {
+        ObsHandle { rec: None }
+    }
+
+    /// Attaches a fresh [`RingRecorder`] sized for a `levels`-deep
+    /// hierarchy with an event ring of `capacity` slots. Allocates here,
+    /// once; recording afterwards never does.
+    pub fn enable(&mut self, levels: usize, capacity: usize) {
+        self.rec = Some(Box::new(RingRecorder::new(levels, capacity)));
+    }
+
+    /// Whether a recorder is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&RingRecorder> {
+        self.rec.as_deref()
+    }
+
+    /// Mutable access to the attached recorder, if any.
+    pub fn recorder_mut(&mut self) -> Option<&mut RingRecorder> {
+        self.rec.as_deref_mut()
+    }
+
+    /// Marks the start of one reference.
+    #[inline]
+    pub fn begin_access(&mut self) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.begin_access();
+        }
+    }
+
+    /// The accessed block was found at `level`.
+    #[inline]
+    pub fn on_hit(&mut self, level: usize, block: u64) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.record_event(EventKind::Hit, level, block);
+        }
+    }
+
+    /// The accessed block was not cached anywhere.
+    #[inline]
+    pub fn on_miss(&mut self, block: u64) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            let sentinel = r.metrics.levels();
+            r.record_event(EventKind::Miss, sentinel, block);
+        }
+    }
+
+    /// A block was installed at `level` (use the level count as the
+    /// `L_out` sentinel for "settled uncached").
+    #[inline]
+    pub fn on_retrieve(&mut self, level: usize, block: u64) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.record_event(EventKind::Retrieve, level, block);
+        }
+    }
+
+    /// A block crossed `boundary` downward.
+    #[inline]
+    pub fn on_demote(&mut self, boundary: usize, block: u64) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.record_event(EventKind::Demote, boundary, block);
+        }
+    }
+
+    /// A demotion across `boundary` was absorbed by a demotion buffer.
+    #[inline]
+    pub fn on_demote_buffered(&mut self, boundary: usize) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.record_buffered(boundary);
+        }
+    }
+
+    /// A block left the hierarchy from `level`.
+    #[inline]
+    pub fn on_evict(&mut self, level: usize, block: u64) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.record_event(EventKind::Evict, level, block);
+        }
+    }
+
+    /// A reconciliation round ran for client `who`.
+    #[inline]
+    pub fn on_reconcile(&mut self, who: usize) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.record_event(EventKind::Reconcile, who, 0);
+        }
+    }
+
+    /// The protocol observed and worked around a fault at `level`.
+    #[inline]
+    pub fn on_fault(&mut self, level: usize, block: u64) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.record_event(EventKind::Fault, level, block);
+        }
+    }
+
+    /// One synchronous RPC round-trip was issued.
+    #[inline]
+    pub fn on_rpc(&mut self) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.record_rpc();
+        }
+    }
+
+    /// Records a value into a pre-registered histogram.
+    #[inline]
+    pub fn observe_hist(&mut self, id: HistId, value: u64) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.observe_hist(id, value);
+        }
+    }
+
+    /// Folds transport fault totals from a message plane's accounting
+    /// into the `PlaneFaults` counter.
+    pub fn add_plane_faults(&mut self, n: u64) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.metrics.add(CounterId::PlaneFaults, n);
+        }
+    }
+
+    /// Flushes per-access batching state; call once after the last
+    /// reference, before harvesting.
+    pub fn finish(&mut self) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.finish();
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+impl ObsHandle {
+    /// A handle with no recorder attached. Without the `enabled`
+    /// feature this is the only state a handle can be in.
+    pub fn disabled() -> Self {
+        ObsHandle {}
+    }
+
+    /// No-op without the `enabled` feature.
+    pub fn enable(&mut self, _levels: usize, _capacity: usize) {}
+
+    /// Always `false` without the `enabled` feature.
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Always `None` without the `enabled` feature.
+    pub fn recorder(&self) -> Option<&RingRecorder> {
+        None
+    }
+
+    /// Always `None` without the `enabled` feature.
+    pub fn recorder_mut(&mut self) -> Option<&mut RingRecorder> {
+        None
+    }
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn begin_access(&mut self) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn on_hit(&mut self, _level: usize, _block: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn on_miss(&mut self, _block: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn on_retrieve(&mut self, _level: usize, _block: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn on_demote(&mut self, _boundary: usize, _block: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn on_demote_buffered(&mut self, _boundary: usize) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn on_evict(&mut self, _level: usize, _block: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn on_reconcile(&mut self, _who: usize) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn on_fault(&mut self, _level: usize, _block: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn on_rpc(&mut self) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn observe_hist(&mut self, _id: HistId, _value: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn add_plane_faults(&mut self, _n: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn finish(&mut self) {}
+}
+
+/// Exposes a policy's [`ObsHandle`] to generic drivers.
+pub trait Observe {
+    /// Read access to the handle (harvesting).
+    fn obs(&self) -> &ObsHandle;
+    /// Mutable access to the handle (enabling, recording, finishing).
+    fn obs_mut(&mut self) -> &mut ObsHandle;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_accepts_all_hooks() {
+        let mut h = ObsHandle::disabled();
+        h.begin_access();
+        h.on_hit(0, 1);
+        h.on_miss(2);
+        h.on_retrieve(1, 2);
+        h.on_demote(0, 3);
+        h.on_demote_buffered(0);
+        h.on_evict(1, 4);
+        h.on_reconcile(0);
+        h.on_fault(1, 5);
+        h.on_rpc();
+        h.observe_hist(HistId::LldR, 7);
+        h.add_plane_faults(2);
+        h.finish();
+        assert!(h.recorder().is_none() || h.is_enabled());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn enabled_handle_records() {
+        use crate::metrics::CounterId;
+        let mut h = ObsHandle::disabled();
+        assert!(!h.is_enabled());
+        h.enable(2, 32);
+        assert!(h.is_enabled());
+        h.begin_access();
+        h.on_hit(0, 9);
+        h.on_miss(10);
+        h.finish();
+        let rec = h.recorder().expect("recorder attached");
+        assert_eq!(rec.metrics().counter(CounterId::Accesses), 1);
+        assert_eq!(rec.metrics().counter(CounterId::Hits), 1);
+        assert_eq!(rec.metrics().counter(CounterId::Misses), 1);
+        // Miss events carry the L_out sentinel level.
+        assert!(rec.log().iter().any(|e| e.level as usize == rec.metrics().levels()));
+    }
+}

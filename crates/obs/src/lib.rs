@@ -1,0 +1,48 @@
+//! Zero-allocation observability plane for the ULC reproduction.
+//!
+//! The engines of `ulc-core` and `ulc-hierarchy` call tiny `on_*` hooks
+//! on an [`ObsHandle`] they own. This crate provides everything behind
+//! those hooks:
+//!
+//! * [`event`] — the seven-kind structured [`Event`] vocabulary shared
+//!   by every protocol (hit, miss, retrieve, demote, evict, reconcile,
+//!   fault).
+//! * [`ring`] — the fixed-capacity, overwrite-oldest [`RingLog`].
+//! * [`metrics`] — the pre-registered [`MetricsRegistry`]: counters,
+//!   per-level rows and power-of-two-bucket [`Pow2Histogram`]s, merged
+//!   across sweep workers with [`MetricsRegistry::merge`].
+//! * [`recorder`] — the [`Recorder`] trait ([`NoopRecorder`] compiles to
+//!   nothing) and the live [`RingRecorder`].
+//! * [`handle`] — the feature-switched [`ObsHandle`] and the [`Observe`]
+//!   trait generic drivers use to reach it.
+//! * [`check`] — the conservation test kit: [`check::reconcile`] proves
+//!   the event stream agrees exactly with the driver's `SimStats`, and
+//!   [`check::replay_residency`] re-derives single-residency placement
+//!   from the event log alone.
+//!
+//! Everything is allocation-free after construction; the workspace lint
+//! walks the recording path (`record_event` is a hot root) to keep it
+//! that way. See DESIGN.md §5h.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod check;
+pub mod event;
+pub mod handle;
+pub mod metrics;
+pub mod recorder;
+pub mod ring;
+
+pub use event::{Event, EventKind};
+pub use handle::{Observe, ObsHandle};
+pub use metrics::{CounterId, HistId, LevelCounters, MetricsRegistry, Pow2Histogram, POW2_BUCKETS};
+pub use recorder::{NoopRecorder, Recorder, RingRecorder};
+pub use ring::RingLog;
+
+/// Whether this build compiled the live recording path (`enabled`
+/// feature). Downstream harnesses use this to decide whether an `obs`
+/// export section can be produced.
+pub fn recording_compiled() -> bool {
+    cfg!(feature = "enabled")
+}

@@ -1,0 +1,217 @@
+//! The `Recorder` trait and its two implementations.
+//!
+//! [`NoopRecorder`] has empty bodies (the trait's defaults) that the
+//! optimizer erases entirely; [`RingRecorder`] is the live sink the
+//! `enabled` feature attaches behind [`crate::ObsHandle`]: one
+//! [`RingLog`] for the event stream plus one [`MetricsRegistry`] for
+//! exact whole-run tallies. Construction allocates once; recording
+//! never does — the lint `hot-path-alloc` rule walks `record_event` as
+//! a root to keep it that way.
+
+use crate::event::{Event, EventKind};
+use crate::metrics::{CounterId, HistId, MetricsRegistry};
+use crate::ring::RingLog;
+
+/// Sink for instrumentation events. All methods default to no-ops so a
+/// disabled recorder compiles to nothing.
+pub trait Recorder {
+    /// Marks the start of one reference; batching state (RPC and
+    /// demotion counts of the previous access) is flushed here.
+    fn begin_access(&mut self) {}
+    /// Records one structured event (see [`EventKind`] for the `level`
+    /// convention of each kind).
+    fn record_event(&mut self, kind: EventKind, level: usize, block: u64) {
+        let _ = (kind, level, block);
+    }
+    /// Counts one synchronous RPC round-trip within the current access.
+    fn record_rpc(&mut self) {}
+    /// Counts a demotion absorbed by a demotion buffer at `boundary`.
+    fn record_buffered(&mut self, boundary: usize) {
+        let _ = boundary;
+    }
+    /// Records a value into a pre-registered histogram.
+    fn observe_hist(&mut self, id: HistId, value: u64) {
+        let _ = (id, value);
+    }
+    /// Flushes any batching state at end of run.
+    fn finish(&mut self) {}
+}
+
+/// The recorder that records nothing and costs nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Live recorder: ring-buffer event log + metrics registry.
+#[derive(Clone, Debug)]
+pub struct RingRecorder {
+    pub(crate) log: RingLog,
+    pub(crate) metrics: MetricsRegistry,
+    tick: u64,
+    pending_rpcs: u64,
+    pending_demotes: u64,
+}
+
+impl RingRecorder {
+    /// Creates a recorder for a `levels`-deep hierarchy with an event
+    /// ring of `capacity` slots. This is the only allocating call.
+    pub fn new(levels: usize, capacity: usize) -> Self {
+        RingRecorder {
+            log: RingLog::new(capacity),
+            metrics: MetricsRegistry::new(levels),
+            tick: 0,
+            pending_rpcs: 0,
+            pending_demotes: 0,
+        }
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &RingLog {
+        &self.log
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Accesses recorded so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    #[inline]
+    fn flush_pending(&mut self) {
+        if self.pending_rpcs > 0 {
+            self.metrics.observe(HistId::RpcRounds, self.pending_rpcs);
+            self.pending_rpcs = 0;
+        }
+        if self.pending_demotes > 0 {
+            self.metrics.observe(HistId::DemoteBatch, self.pending_demotes);
+            self.pending_demotes = 0;
+        }
+    }
+}
+
+impl Recorder for RingRecorder {
+    #[inline]
+    fn begin_access(&mut self) {
+        self.flush_pending();
+        self.tick += 1;
+        self.metrics.inc(CounterId::Accesses);
+    }
+
+    #[inline]
+    fn record_event(&mut self, kind: EventKind, level: usize, block: u64) {
+        self.log.push(Event { tick: self.tick, block, level: level as u16, kind });
+        match kind {
+            EventKind::Hit => {
+                self.metrics.inc(CounterId::Hits);
+                if let Some(row) = self.metrics.level_mut(level) {
+                    row.hits += 1;
+                }
+            }
+            EventKind::Miss => self.metrics.inc(CounterId::Misses),
+            EventKind::Retrieve => {
+                self.metrics.inc(CounterId::Retrieves);
+                if let Some(row) = self.metrics.level_mut(level) {
+                    row.retrieves += 1;
+                }
+            }
+            EventKind::Demote => {
+                self.metrics.inc(CounterId::Demotions);
+                self.pending_demotes += 1;
+                if let Some(row) = self.metrics.level_mut(level) {
+                    row.demotions += 1;
+                }
+            }
+            EventKind::Evict => {
+                self.metrics.inc(CounterId::Evictions);
+                if let Some(row) = self.metrics.level_mut(level) {
+                    row.evictions += 1;
+                }
+            }
+            EventKind::Reconcile => self.metrics.inc(CounterId::Reconciles),
+            EventKind::Fault => self.metrics.inc(CounterId::Faults),
+        }
+    }
+
+    #[inline]
+    fn record_rpc(&mut self) {
+        self.metrics.inc(CounterId::Rpcs);
+        self.pending_rpcs += 1;
+    }
+
+    #[inline]
+    fn record_buffered(&mut self, boundary: usize) {
+        self.metrics.inc(CounterId::DemotionsBuffered);
+        if let Some(row) = self.metrics.level_mut(boundary) {
+            row.buffered += 1;
+        }
+    }
+
+    #[inline]
+    fn observe_hist(&mut self, id: HistId, value: u64) {
+        self.metrics.observe(id, value);
+    }
+
+    #[inline]
+    fn finish(&mut self) {
+        self.flush_pending();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let mut r = NoopRecorder;
+        r.begin_access();
+        r.record_event(EventKind::Hit, 0, 1);
+        r.record_rpc();
+        r.record_buffered(0);
+        r.observe_hist(HistId::LldR, 9);
+        r.finish();
+    }
+
+    #[test]
+    fn batches_flush_on_next_access_and_finish() {
+        let mut r = RingRecorder::new(2, 16);
+        r.begin_access();
+        r.record_rpc();
+        r.record_rpc();
+        r.record_event(EventKind::Demote, 0, 7);
+        // Nothing flushed yet: the access is still open.
+        assert_eq!(r.metrics().hist(HistId::RpcRounds).count(), 0);
+        r.begin_access();
+        assert_eq!(r.metrics().hist(HistId::RpcRounds).count(), 1);
+        assert_eq!(r.metrics().hist(HistId::RpcRounds).total(), 2);
+        assert_eq!(r.metrics().hist(HistId::DemoteBatch).total(), 1);
+        r.record_event(EventKind::Demote, 0, 8);
+        r.finish();
+        assert_eq!(r.metrics().hist(HistId::DemoteBatch).count(), 2);
+        assert_eq!(r.ticks(), 2);
+        assert_eq!(r.metrics().counter(CounterId::Accesses), 2);
+    }
+
+    #[test]
+    fn events_update_counters_and_levels() {
+        let mut r = RingRecorder::new(2, 16);
+        r.begin_access();
+        r.record_event(EventKind::Hit, 1, 3);
+        r.record_event(EventKind::Retrieve, 0, 3);
+        r.record_event(EventKind::Miss, 2, 4);
+        r.record_event(EventKind::Evict, 1, 5);
+        r.record_buffered(0);
+        assert_eq!(r.metrics().counter(CounterId::Hits), 1);
+        assert_eq!(r.metrics().level(1).hits, 1);
+        assert_eq!(r.metrics().level(0).retrieves, 1);
+        assert_eq!(r.metrics().counter(CounterId::Misses), 1);
+        assert_eq!(r.metrics().level(1).evictions, 1);
+        assert_eq!(r.metrics().level(0).buffered, 1);
+        assert_eq!(r.log().len(), 4);
+    }
+}

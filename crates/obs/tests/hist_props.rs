@@ -1,0 +1,96 @@
+//! Property tests for the observability histograms and registry merge:
+//! merging is associative and commutative, and bucket counts are
+//! conserved under any split/merge of the recorded value stream.
+
+use proptest::prelude::*;
+use ulc_obs::{CounterId, HistId, MetricsRegistry, Pow2Histogram, POW2_BUCKETS};
+
+fn hist_of(values: &[u64]) -> Pow2Histogram {
+    let mut h = Pow2Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn registry_of(levels: usize, values: &[u64]) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new(levels);
+    for &v in values {
+        m.inc(CounterId::Accesses);
+        m.observe(HistId::LldR, v);
+        if let Some(row) = m.level_mut((v % levels as u64) as usize) {
+            row.hits += 1;
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_merge_conserves_buckets(
+        values in proptest::collection::vec(any::<u64>(), 0..200),
+        split in 0usize..200,
+    ) {
+        let cut = split.min(values.len());
+        let mut left = hist_of(&values[..cut]);
+        let right = hist_of(&values[cut..]);
+        left.merge(&right);
+        let whole = hist_of(&values);
+        prop_assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..80),
+        b in proptest::collection::vec(any::<u64>(), 0..80),
+        c in proptest::collection::vec(any::<u64>(), 0..80),
+    ) {
+        // (a + b) + c
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        // a + (b + c)
+        let mut bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn every_value_lands_in_its_bounds_bucket(v in any::<u64>()) {
+        let i = Pow2Histogram::bucket_index(v);
+        prop_assert!(i < POW2_BUCKETS);
+        let (lo, hi) = Pow2Histogram::bounds(i);
+        prop_assert!(lo <= v && v <= hi);
+        let h = hist_of(&[v]);
+        prop_assert_eq!(h.bucket(i), 1);
+        prop_assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn registry_merge_matches_whole_run(
+        values in proptest::collection::vec(any::<u64>(), 0..150),
+        split in 0usize..150,
+        levels in 1usize..4,
+    ) {
+        let cut = split.min(values.len());
+        let mut merged = registry_of(levels, &values[..cut]);
+        merged.merge(&registry_of(levels, &values[cut..]));
+        prop_assert_eq!(merged, registry_of(levels, &values));
+    }
+}

@@ -55,4 +55,23 @@ cargo run -q --release -p ulc-bench --features alloc_stats --bin sweep -- \
 # The unit-level form of the same contract, with the counting allocator on:
 cargo test -q -p ulc-bench --features alloc_stats --test alloc_gate
 
+# Observability gates (ISSUE 8, DESIGN.md §5h): the obs crate's own suite
+# (ring, registry, proptested merge laws), the per-protocol conservation
+# suite (event ledger reconciles exactly with SimStats; the exclusive
+# UlcSingle event log replays to single residency on its own), and the
+# golden bench-JSON schema snapshot that pins the `obs` section's shape.
+cargo test -q -p ulc-obs --features enabled
+cargo test -q -p ulc-core --features obs --test obs_conservation
+cargo test -q -p ulc-bench --features obs --test bench_json_schema
+
+# The §5f contract with a live recorder attached: the same alloc-gate
+# suite plus a seeded smoke sweep built with recording enabled, which
+# must report 0.0000 steady allocations/access AND reconcile every
+# protocol's conservation cell (the run exits non-zero otherwise). No
+# baseline: an instrumented build's rates are not comparable.
+cargo test -q -p ulc-bench --features "alloc_stats obs" --test alloc_gate
+mkdir -p results
+cargo run -q --release -p ulc-bench --features "alloc_stats obs" --bin sweep -- \
+  --bench-only --scale=smoke --bench-json=results/BENCH_obs.json
+
 echo "tier1: ok"

@@ -33,4 +33,5 @@ pub use ulc_cache as cache;
 pub use ulc_core as core;
 pub use ulc_hierarchy as hierarchy;
 pub use ulc_measures as measures;
+pub use ulc_obs as obs;
 pub use ulc_trace as trace;
