@@ -3,7 +3,7 @@
 //!
 //! Usage: `sweep [--scale=smoke|default|full] [--json=<path>]
 //! [--faults=<scenario>] [--bench-json=<path>]
-//! [--bench-baseline=<path>] [--bench-only]`.
+//! [--bench-baseline=<path>] [--bench-only] [--threads=<n>[,<n>...]]`.
 //!
 //! The figure renders go to stdout in a fixed order; the
 //! [`ulc_bench::sweep::SweepSummary`] (threads, wall/cpu milliseconds,
@@ -22,8 +22,17 @@
 //! to the given path — `BENCH_sim.json` at the repo root by convention.
 //! `--bench-baseline=<path>` additionally compares the fresh report
 //! against a checked-in baseline and exits non-zero if any interned
-//! accesses/sec rate regressed by more than 25%. `--bench-only` skips
-//! the figure sweep so CI can gate throughput quickly.
+//! accesses/sec rate regressed by more than 25%, or if a wide sharded
+//! ULC-multi row fails the E11 shard-scaling floor (2x the serial
+//! baseline rate). `--bench-only` skips the figure sweep so CI can gate
+//! throughput quickly.
+//!
+//! `--threads=<n>[,<n>...]` sets the shard counts of the sharded
+//! ULC-multi cells (default `2,8`). Every trace is generated from a
+//! fixed seed and the sharded executor is bit-identical to the serial
+//! driver at any shard count, so the flag changes wall-clock columns
+//! only, never results. The checked-in baseline carries rows for the
+//! default counts, so the gates expect the default list.
 //!
 //! When built with the `obs` feature the report carries an `obs` section
 //! (conservation-checked event/metrics cells per protocol, DESIGN.md
@@ -57,10 +66,29 @@ fn arg_value(prefix: &str) -> Option<String> {
 /// baseline before the gate fails.
 const MAX_BENCH_REGRESSION: f64 = 0.25;
 
+/// Minimum speedup a wide sharded row must reach over the *serial*
+/// baseline rate of its cell (the E11 acceptance floor).
+const MIN_SHARD_SPEEDUP: f64 = 2.0;
+
+/// Parses `--threads=<n>[,<n>...]` into the sharded cells' shard counts,
+/// defaulting to [`throughput::DEFAULT_THREAD_COUNTS`].
+fn thread_counts_from_args() -> Vec<usize> {
+    let Some(list) = arg_value("--threads=") else {
+        return throughput::DEFAULT_THREAD_COUNTS.to_vec();
+    };
+    list.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("bad --threads value {s:?}: {e}"))
+        })
+        .collect()
+}
+
 /// Runs the E9 throughput study, writes the report, and applies the
 /// baseline gate. Returns `false` if the gate failed.
 fn run_bench(scale: Scale, json: Option<&str>, baseline: Option<&str>) -> bool {
-    let report = throughput::run(scale);
+    let report = throughput::run_with_threads(scale, &thread_counts_from_args());
     println!("{}", throughput::render(&report));
     if let Some(path) = json {
         let file = std::fs::File::create(path)
@@ -106,6 +134,15 @@ fn run_bench(scale: Scale, json: Option<&str>, baseline: Option<&str>) -> bool {
     } else {
         for f in &failures {
             eprintln!("bench gate FAILED: {f}");
+        }
+        ok = false;
+    }
+    let scaling_failures = throughput::check_shard_scaling(&report, &base, MIN_SHARD_SPEEDUP);
+    if scaling_failures.is_empty() {
+        eprintln!("shard-scaling gate: ok (>= {MIN_SHARD_SPEEDUP}x serial baseline)");
+    } else {
+        for f in &scaling_failures {
+            eprintln!("shard-scaling gate FAILED: {f}");
         }
         ok = false;
     }

@@ -24,14 +24,19 @@ use crate::obs_report::{ObsSection, OBS_RING_CAPACITY};
 use crate::{alloc_stats, row, Scale};
 use serde::Serialize;
 use std::time::Instant;
+use ulc_core::parallel::ShardedReplayer;
 use ulc_core::{UlcConfig, UlcMultiConfig, UlcMulti, UlcSingle};
 use ulc_hierarchy::reference::MapReliablePlane;
 use ulc_hierarchy::{
-    simulate, AccessOutcome, EvictionBased, MultiLevelPolicy, UniLru, UniLruVariant,
+    simulate, AccessOutcome, EvictionBased, MultiLevelPolicy, SimStats, UniLru, UniLruVariant,
 };
 use ulc_obs::Observe;
 use ulc_trace::patterns::{LoopingPattern, Pattern};
 use ulc_trace::{synthetic, TableMode, Trace};
+
+/// Shard counts the sharded ULC-multi cells are measured at by default
+/// (E11's scaling curve); `--threads=` on the sweep binary overrides.
+pub const DEFAULT_THREAD_COUNTS: [usize; 2] = [2, 8];
 
 /// One protocol × workload × trace-size measurement.
 #[derive(Clone, Debug, Serialize)]
@@ -42,9 +47,15 @@ pub struct ThroughputRow {
     pub workload: String,
     /// References simulated (per run).
     pub refs: usize,
+    /// Worker threads driving the replay: `1` is the serial driver;
+    /// `> 1` is the sharded executor (`ulc_core::parallel`,
+    /// DESIGN.md §5i), which is bit-identical to serial by contract.
+    pub threads: usize,
     /// Accesses per second of the live interned engine.
     pub interned_aps: f64,
-    /// Accesses per second of the map-backed reference path.
+    /// Accesses per second of the map-backed reference path. For sharded
+    /// rows (`threads > 1`) this is the *serial interned* rate instead,
+    /// so `speedup` reads as the parallel scaling factor.
     pub reference_aps: f64,
     /// `interned_aps / reference_aps`.
     pub speedup: f64,
@@ -58,9 +69,10 @@ pub struct ThroughputRow {
     pub steady_allocs_per_access: f64,
 }
 
-// Hand-written so the allocation columns default to zero when a baseline
-// recorded before they existed is loaded (the vendored serde derive has
-// no `#[serde(default)]`).
+// Hand-written so the allocation columns default to zero and the
+// `threads` column defaults to one (serial) when a baseline recorded
+// before they existed is loaded (the vendored serde derive has no
+// `#[serde(default)]`).
 impl serde::Deserialize for ThroughputRow {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         let fields = v
@@ -74,6 +86,10 @@ impl serde::Deserialize for ThroughputRow {
             protocol: serde::Deserialize::from_value(serde::get_field(fields, "protocol")?)?,
             workload: serde::Deserialize::from_value(serde::get_field(fields, "workload")?)?,
             refs: serde::Deserialize::from_value(serde::get_field(fields, "refs")?)?,
+            threads: match serde::get_field(fields, "threads") {
+                Ok(value) => serde::Deserialize::from_value(value)?,
+                Err(_) => 1,
+            },
             interned_aps: serde::Deserialize::from_value(serde::get_field(fields, "interned_aps")?)?,
             reference_aps: serde::Deserialize::from_value(serde::get_field(
                 fields,
@@ -198,6 +214,90 @@ fn alloc_profile<P: MultiLevelPolicy>(mut policy: P, trace: &Trace) -> (f64, f64
     )
 }
 
+/// Best-of-N timing of the sharded executor. The replayer (its trace
+/// plan and worker pool) is built once and reused across repetitions —
+/// the plan is a pure function of the trace, reusable across runs like
+/// the interned trace itself — while the protocol state is rebuilt per
+/// repetition.
+fn best_sharded_aps<F: Fn() -> UlcMulti>(build: F, trace: &Trace, threads: usize) -> f64 {
+    let mut replayer = ShardedReplayer::new(trace, threads);
+    let mut best = 0.0f64;
+    let mut spent_secs = 0.0;
+    for run in 0..6 {
+        let mut policy = build();
+        // lint:allow(determinism) wall-clock timing of the harness itself; never feeds simulator results
+        let start = Instant::now();
+        let stats = replayer.replay(&mut policy, trace, trace.warmup_len());
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        std::hint::black_box(stats);
+        best = best.max(trace.len() as f64 / secs);
+        spent_secs += secs;
+        if run >= 1 && spent_secs > 0.25 {
+            break;
+        }
+    }
+    best
+}
+
+/// [`alloc_profile`] for the sharded executor: allocations per access on
+/// the orchestrating thread (plan runs, stack swaps, the commit walk),
+/// phased at the 90 % mark via [`ShardedReplayer::replay_range`]. The
+/// thread-local counters do not observe the worker threads — by design
+/// the workers only advance pre-reserved client stacks through
+/// pre-filled runs, so the coordinator is where allocation pressure
+/// would surface.
+fn alloc_profile_sharded<F: Fn() -> UlcMulti>(build: F, trace: &Trace, threads: usize) -> (f64, f64) {
+    if !alloc_stats::enabled() || trace.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut policy = build();
+    let levels = policy.num_levels();
+    policy.obs_mut().enable(levels, OBS_RING_CAPACITY);
+    let mut replayer = ShardedReplayer::new(trace, threads);
+    let warmup = trace.warmup_len();
+    let split = trace.len() * 9 / 10;
+    let mut stats = SimStats::new(levels);
+    alloc_stats::reset();
+    replayer.replay_range(&mut policy, trace, 0, split, warmup, &mut stats);
+    let warm = alloc_stats::snapshot();
+    alloc_stats::reset();
+    replayer.replay_range(&mut policy, trace, split, trace.len(), warmup, &mut stats);
+    let steady = alloc_stats::snapshot();
+    replayer.fold_obs(&mut policy);
+    std::hint::black_box(&stats);
+    (
+        warm.allocs as f64 / split.max(1) as f64,
+        steady.allocs as f64 / (trace.len() - split).max(1) as f64,
+    )
+}
+
+/// Measures one sharded-executor cell. `serial_aps` is the serial
+/// interned rate of the same protocol × workload × size, reported in the
+/// `reference` column so `speedup` reads as the parallel scaling factor.
+fn measure_sharded<F: Fn() -> UlcMulti>(
+    protocol: &str,
+    workload: &str,
+    trace: &Trace,
+    threads: usize,
+    serial_aps: f64,
+    build: F,
+) -> ThroughputRow {
+    let interned_aps = best_sharded_aps(&build, trace, threads);
+    let (warmup_allocs_per_access, steady_allocs_per_access) =
+        alloc_profile_sharded(&build, trace, threads);
+    ThroughputRow {
+        protocol: protocol.to_string(),
+        workload: workload.to_string(),
+        refs: trace.len(),
+        threads,
+        interned_aps,
+        reference_aps: serial_aps,
+        speedup: interned_aps / serial_aps.max(1e-9),
+        warmup_allocs_per_access,
+        steady_allocs_per_access,
+    }
+}
+
 /// Measures one cell: the interned engine against its map-backed twin.
 fn measure<D, H, FD, FH>(
     protocol: &str,
@@ -226,6 +326,7 @@ where
         protocol: protocol.to_string(),
         workload: workload.to_string(),
         refs: trace.len(),
+        threads: 1,
         interned_aps,
         reference_aps,
         speedup: interned_aps / reference_aps.max(1e-9),
@@ -239,9 +340,19 @@ where
 /// The headline workload is the D=100k looping pattern: a footprint large
 /// enough that per-block tables dominate the per-reference cost, which is
 /// exactly where dense indices beat hashing. `zipf-small` covers the
-/// skewed small-footprint regime and `httpd-multi` the multi-client ULC
-/// engine with its message plane.
+/// skewed small-footprint regime and `httpd-multi`/`db2-multi` the
+/// multi-client ULC engine with its message plane, each additionally
+/// measured under the sharded executor at [`DEFAULT_THREAD_COUNTS`].
 pub fn run(scale: Scale) -> ThroughputReport {
+    run_with_threads(scale, &DEFAULT_THREAD_COUNTS)
+}
+
+/// [`run`] with explicit shard counts for the sharded ULC-multi cells
+/// (the sweep binary's `--threads=` flag). An empty list skips the
+/// sharded cells entirely. Thread counts never change results — the
+/// executor is bit-identical to the serial driver at any count, which
+/// `crates/core/tests/parallel_replay.rs` proves — only the wall-clock.
+pub fn run_with_threads(scale: Scale, thread_counts: &[usize]) -> ThroughputReport {
     let mut rows = Vec::new();
     for refs in trace_sizes(scale) {
         let looping = LoopingPattern::new(100_000).generate(refs);
@@ -308,16 +419,58 @@ pub fn run(scale: Scale) -> ThroughputReport {
         ));
 
         let multi = synthetic::httpd_multi(refs);
+        let httpd_build = || UlcMulti::new(UlcMultiConfig::uniform(7, 1024, 8192));
         rows.push(measure(
             "ULC-multi",
             "httpd-multi",
             &multi,
-            || UlcMulti::new(UlcMultiConfig::uniform(7, 1024, 8192)),
+            httpd_build,
             || {
                 UlcMulti::new_with_mode(UlcMultiConfig::uniform(7, 1024, 8192), TableMode::Hashed)
                     .with_plane(MapReliablePlane::new())
             },
         ));
+        let httpd_serial_aps = rows.last().expect("row just pushed").interned_aps;
+        for &threads in thread_counts {
+            rows.push(measure_sharded(
+                "ULC-multi",
+                "httpd-multi",
+                &multi,
+                threads,
+                httpd_serial_aps,
+                httpd_build,
+            ));
+        }
+
+        // db2-multi: eight clients over fully-disjoint scan ranges, with
+        // the footprint scaled so each client's 1 000-block range is
+        // L0-resident once warm — the high-exclusivity, private-hit
+        // regime where the sharded executor's parallel phase covers most
+        // of the trace (E11's scaling workload; httpd-multi above is the
+        // low end of the same curve at ~17% exclusive references).
+        let db2 = synthetic::db2_multi(refs, 8_000);
+        let db2_build = || UlcMulti::new(UlcMultiConfig::uniform(8, 1024, 8192));
+        rows.push(measure(
+            "ULC-multi",
+            "db2-multi",
+            &db2,
+            db2_build,
+            || {
+                UlcMulti::new_with_mode(UlcMultiConfig::uniform(8, 1024, 8192), TableMode::Hashed)
+                    .with_plane(MapReliablePlane::new())
+            },
+        ));
+        let db2_serial_aps = rows.last().expect("row just pushed").interned_aps;
+        for &threads in thread_counts {
+            rows.push(measure_sharded(
+                "ULC-multi",
+                "db2-multi",
+                &db2,
+                threads,
+                db2_serial_aps,
+                db2_build,
+            ));
+        }
     }
     ThroughputReport {
         scale: scale_label(scale).to_string(),
@@ -351,6 +504,7 @@ pub fn render(report: &ThroughputReport) -> String {
         &[
             "workload".into(),
             "refs".into(),
+            "thr".into(),
             "interned".into(),
             "reference".into(),
             "speedup".into(),
@@ -365,6 +519,7 @@ pub fn render(report: &ThroughputReport) -> String {
             &[
                 r.workload.clone(),
                 format!("{}", r.refs),
+                format!("{}", r.threads),
                 fmt_aps(r.interned_aps),
                 fmt_aps(r.reference_aps),
                 format!("{:.2}x", r.speedup),
@@ -378,10 +533,12 @@ pub fn render(report: &ThroughputReport) -> String {
 }
 
 /// Protocols whose steady-state path must be allocation-free: the pooled
-/// engines running over the default `ReliablePlane`. (`ULC-multi` keeps
-/// per-access plane traffic whose queues may still grow late in a
-/// multi-client trace, so it is reported but not gated.)
-const ALLOC_GATED_PROTOCOLS: [&str; 3] = ["ULC", "uniLRU", "evict-reload"];
+/// engines running over the default `ReliablePlane`, including the
+/// multi-client engine and its sharded-executor rows. (`ULC-multi`'s
+/// plane queues and the server slab's free list are reserved to their
+/// bounds at construction, so even late promotion bursts no longer grow
+/// them mid-run — see `GlobalLru::new` and DESIGN.md §5f.)
+const ALLOC_GATED_PROTOCOLS: [&str; 4] = ["ULC", "uniLRU", "evict-reload", "ULC-multi"];
 
 /// Enforces the §5f zero-allocation steady-state contract on a report
 /// generated with the `alloc_stats` feature: every gated protocol's
@@ -421,11 +578,14 @@ pub fn check_against_baseline(
     let mut matched = 0usize;
     for b in &baseline.rows {
         let Some(c) = current.rows.iter().find(|c| {
-            c.protocol == b.protocol && c.workload == b.workload && c.refs == b.refs
+            c.protocol == b.protocol
+                && c.workload == b.workload
+                && c.refs == b.refs
+                && c.threads == b.threads
         }) else {
             failures.push(format!(
-                "baseline row {}/{}/{} missing from current report",
-                b.protocol, b.workload, b.refs
+                "baseline row {}/{}/{}@{}t missing from current report",
+                b.protocol, b.workload, b.refs, b.threads
             ));
             continue;
         };
@@ -449,6 +609,57 @@ pub fn check_against_baseline(
     failures
 }
 
+/// Shard counts at and above which [`check_shard_scaling`] applies its
+/// floor: the widest configurations, where the parallel phase must pay
+/// for itself.
+pub const SHARD_GATE_MIN_THREADS: usize = 8;
+
+/// Enforces E11's shard-scaling floor: every current sharded row at
+/// [`SHARD_GATE_MIN_THREADS`] or more threads must reach at least
+/// `min_speedup ×` the *serial* baseline rate of the same protocol ×
+/// workload × size. Like the baseline gate, this compares against the
+/// checked-in (deliberately conservative) baseline, not a live serial
+/// measurement, so scheduler noise on the serial cell cannot fail the
+/// sharded one. Returns the violations, empty on success.
+pub fn check_shard_scaling(
+    current: &ThroughputReport,
+    baseline: &ThroughputReport,
+    min_speedup: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for c in &current.rows {
+        if c.threads < SHARD_GATE_MIN_THREADS {
+            continue;
+        }
+        let Some(b) = baseline.rows.iter().find(|b| {
+            b.threads == 1 && b.protocol == c.protocol && b.workload == c.workload && b.refs == c.refs
+        }) else {
+            continue;
+        };
+        checked += 1;
+        let floor = b.interned_aps * min_speedup;
+        if c.interned_aps < floor {
+            failures.push(format!(
+                "{}/{}/{}@{}t: {} < {:.1}x serial baseline {}",
+                c.protocol,
+                c.workload,
+                c.refs,
+                c.threads,
+                fmt_aps(c.interned_aps),
+                min_speedup,
+                fmt_aps(b.interned_aps),
+            ));
+        }
+    }
+    if checked == 0 {
+        failures.push(
+            "no sharded row had a serial baseline row to scale against".to_string(),
+        );
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,12 +677,19 @@ mod tests {
             protocol: protocol.into(),
             workload: "loop-100k".into(),
             refs: 1000,
+            threads: 1,
             interned_aps: aps,
             reference_aps: aps / 2.0,
             speedup: 2.0,
             warmup_allocs_per_access: 0.0,
             steady_allocs_per_access: 0.0,
         }
+    }
+
+    fn sharded(protocol: &str, threads: usize, aps: f64) -> ThroughputRow {
+        let mut row = r(protocol, aps);
+        row.threads = threads;
+        row
     }
 
     #[test]
@@ -509,15 +727,57 @@ mod tests {
     }
 
     #[test]
-    fn alloc_gate_flags_gated_protocols_only() {
+    fn alloc_gate_holds_every_pooled_engine_including_ulc_multi() {
         let mut gated = r("ULC", 1000.0);
         gated.steady_allocs_per_access = 0.5;
         let mut multi = r("ULC-multi", 1000.0);
         multi.steady_allocs_per_access = 0.5;
-        let rep = report(vec![gated, multi]);
+        let mut sharded_multi = sharded("ULC-multi", 8, 4000.0);
+        sharded_multi.steady_allocs_per_access = 0.25;
+        let clean = r("uniLRU", 1000.0);
+        let rep = report(vec![gated, multi, sharded_multi, clean]);
         let fails = check_alloc_gate(&rep);
+        assert_eq!(fails.len(), 3, "{fails:?}");
+        assert!(fails.iter().any(|f| f.contains("ULC/loop-100k")));
+        assert_eq!(
+            fails.iter().filter(|f| f.contains("ULC-multi")).count(),
+            2,
+            "serial and sharded ULC-multi rows are both gated: {fails:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_rows_match_on_thread_count() {
+        // A serial and a sharded row of the same cell must not be
+        // confused: the sharded row regressing below the serial floor is
+        // only caught when matched against the sharded baseline.
+        let base = report(vec![r("ULC-multi", 1000.0), sharded("ULC-multi", 8, 4000.0)]);
+        let cur = report(vec![r("ULC-multi", 1000.0), sharded("ULC-multi", 8, 1000.0)]);
+        let fails = check_against_baseline(&cur, &base, 0.25);
         assert_eq!(fails.len(), 1, "{fails:?}");
-        assert!(fails[0].contains("ULC/loop-100k"));
+        assert!(fails[0].contains("ULC-multi"));
+    }
+
+    #[test]
+    fn shard_scaling_gate_enforces_the_floor() {
+        let base = report(vec![r("ULC-multi", 1000.0)]);
+        let fast = report(vec![sharded("ULC-multi", 8, 2500.0)]);
+        assert!(check_shard_scaling(&fast, &base, 2.0).is_empty());
+        let slow = report(vec![sharded("ULC-multi", 8, 1500.0)]);
+        let fails = check_shard_scaling(&slow, &base, 2.0);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("2.0x serial baseline"));
+    }
+
+    #[test]
+    fn shard_scaling_gate_ignores_narrow_rows_but_needs_coverage() {
+        let base = report(vec![r("ULC-multi", 1000.0)]);
+        // A 2-thread row is below the gate's width threshold…
+        let narrow = report(vec![sharded("ULC-multi", 2, 900.0)]);
+        let fails = check_shard_scaling(&narrow, &base, 2.0);
+        // …so nothing qualifies and the gate reports the coverage hole.
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("no sharded row"));
     }
 
     #[test]
@@ -529,6 +789,7 @@ mod tests {
         let rep: ThroughputReport = serde_json::from_str(text).expect("old-format baseline");
         assert_eq!(rep.rows[0].steady_allocs_per_access, 0.0);
         assert_eq!(rep.rows[0].warmup_allocs_per_access, 0.0);
+        assert_eq!(rep.rows[0].threads, 1, "missing threads column is serial");
         assert!(rep.obs.is_none(), "missing obs section defaults to None");
     }
 

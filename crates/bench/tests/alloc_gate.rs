@@ -13,12 +13,12 @@
 #![cfg(feature = "alloc_stats")]
 
 use ulc_bench::alloc_stats::{reset, snapshot};
-use ulc_core::{UlcConfig, UlcSingle};
-use ulc_hierarchy::{AccessOutcome, EvictionBased, MultiLevelPolicy, UniLru, UniLruVariant};
+use ulc_core::{ShardedReplayer, UlcConfig, UlcMulti, UlcMultiConfig, UlcSingle};
+use ulc_hierarchy::{AccessOutcome, EvictionBased, MultiLevelPolicy, SimStats, UniLru, UniLruVariant};
 #[cfg(feature = "obs")]
 use ulc_obs::Observe;
 use ulc_trace::patterns::{LoopingPattern, Pattern};
-use ulc_trace::Trace;
+use ulc_trace::{synthetic, Trace};
 
 /// Warms `policy` over the whole trace once, then replays the last tenth
 /// with counters armed and returns the allocation count.
@@ -54,6 +54,43 @@ fn settled_engines_do_not_allocate_per_access() {
     );
 }
 
+/// The multi-client engine is held to the same §5f bar: once the server
+/// gLRU, the per-client stacks, and the message plane have settled, a
+/// steady-state access must not touch the allocator.
+#[test]
+fn settled_multi_client_engine_does_not_allocate_per_access() {
+    let trace = synthetic::httpd_multi(40_000);
+    let ulc = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048));
+    assert_eq!(
+        steady_allocs(ulc, &trace),
+        0,
+        "ULC-multi steady state allocated"
+    );
+}
+
+/// The sharded executor's steady phase must be allocation-free on the
+/// orchestrating thread (the one the counting allocator observes): run
+/// buffers are reserved to the epoch length up front, workers only
+/// advance pre-reserved stacks, and the commit walk reuses the pooled
+/// scratch. The warm phase fills every high-water mark; the measured
+/// tail then replays through the same `replay_range` split the
+/// throughput harness uses.
+#[test]
+fn sharded_replay_steady_phase_does_not_allocate() {
+    let trace = synthetic::httpd_multi(40_000);
+    let mut policy = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048));
+    let mut replayer = ShardedReplayer::new(&trace, 2);
+    let mut stats = SimStats::new(2);
+    let warmup = trace.warmup_len();
+    let split = trace.len() - trace.len() / 10;
+    replayer.replay_range(&mut policy, &trace, 0, split, warmup, &mut stats);
+    reset();
+    replayer.replay_range(&mut policy, &trace, split, trace.len(), warmup, &mut stats);
+    let snap = snapshot();
+    std::hint::black_box(&stats);
+    assert_eq!(snap.allocs, 0, "sharded steady phase allocated");
+}
+
 /// The §5f contract must hold with a live observability recorder
 /// attached (DESIGN.md §5h): the ring is pre-allocated and the registry
 /// is index arithmetic, so recording every event adds zero steady-state
@@ -84,5 +121,13 @@ fn settled_engines_do_not_allocate_per_access_while_recording() {
         steady_allocs(evict, &trace),
         0,
         "evict-reload allocated while recording"
+    );
+
+    let multi_trace = synthetic::httpd_multi(40_000);
+    let multi = with_recorder(UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048)));
+    assert_eq!(
+        steady_allocs(multi, &multi_trace),
+        0,
+        "ULC-multi allocated while recording"
     );
 }

@@ -68,6 +68,7 @@ fn representative_report() -> ThroughputReport {
             protocol: "ULC".to_string(),
             workload: "loop-100k".to_string(),
             refs: 1_000,
+            threads: 1,
             interned_aps: 1.0e6,
             reference_aps: 5.0e5,
             speedup: 2.0,

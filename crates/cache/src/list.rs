@@ -111,6 +111,19 @@ impl<T> LinkedSlab<T> {
         }
     }
 
+    /// Pre-sizes the slab for `capacity` total node slots: both the node
+    /// vector and the free list are grown so that any interleaving of
+    /// insertions and removals over at most `capacity` slots triggers no
+    /// further allocation (the free list can hold every slot at once).
+    /// Part of the zero-allocation steady-state contract (DESIGN.md §5f):
+    /// a slab that reaches its occupancy high-water late in a run would
+    /// otherwise pay a doubling realloc inside the measured phase.
+    pub fn reserve(&mut self, capacity: usize) {
+        self.nodes
+            .reserve(capacity.saturating_sub(self.nodes.len()));
+        self.free.reserve(capacity.saturating_sub(self.free.len()));
+    }
+
     /// Number of nodes in the list.
     pub fn len(&self) -> usize {
         self.len

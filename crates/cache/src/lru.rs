@@ -39,6 +39,15 @@ impl<K: Eq + Hash + Clone> LruStack<K> {
         }
     }
 
+    /// Pre-sizes the stack for `capacity` keys: slab slots, the free
+    /// list and the locator map are all grown up front so a steady-state
+    /// run whose occupancy high-water is reached late never reallocates
+    /// mid-measurement (DESIGN.md §5f).
+    pub fn reserve(&mut self, capacity: usize) {
+        self.list.reserve(capacity);
+        self.map.reserve(capacity.saturating_sub(self.map.len()));
+    }
+
     /// Number of keys in the stack.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -64,12 +64,14 @@
 #![warn(missing_debug_implementations)]
 
 mod multi;
+pub mod parallel;
 pub mod reference;
 pub mod scratch;
 mod single;
 mod stack;
 
 pub use multi::{ClaimRule, UlcMulti, UlcMultiConfig};
+pub use parallel::{simulate_sharded, ShardedReplayer};
 pub use scratch::AccessScratch;
 pub use single::{MessageStats, UlcConfig, UlcSingle};
 pub use stack::{Placement, StackAccess, StackOutcome, UniLruStack};

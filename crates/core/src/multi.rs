@@ -59,9 +59,20 @@ struct GlobalLru {
 impl GlobalLru {
     fn new(capacity: usize, mode: TableMode) -> Self {
         assert!(capacity > 0, "server capacity must be positive");
+        let mut stack = LruStack::new();
+        // Occupancy is bounded by `capacity + 1` (cache_request touches
+        // before it pops), so the node slots settle during warm-up — but
+        // the slab's free list tracks the *deepest occupancy dip*, which a
+        // late burst of promotions to client caches can deepen at any
+        // point in a run, doubling the free vector inside the measured
+        // steady phase (the §5f gate forbids exactly that). Reserving the
+        // full capacity up front caps the whole run.
+        stack.reserve(capacity + 1);
+        let mut owner = BlockMap::new(mode);
+        owner.reserve(capacity + 1);
         GlobalLru {
-            stack: LruStack::new(),
-            owner: BlockMap::new(mode),
+            stack,
+            owner,
             capacity,
         }
     }
@@ -260,9 +271,16 @@ impl UlcMulti {
         let clients = config
             .client_capacities
             .iter()
-            .map(|&c| ClientState {
-                stack: UniLruStack::new_with_mode(vec![c, config.server_capacity], mode),
-                dirty: false,
+            .map(|&c| {
+                let mut stack =
+                    UniLruStack::new_with_mode(vec![c, config.server_capacity], mode);
+                // Resident entries are the cached view (client + server
+                // share) plus uncached history above the last yardstick,
+                // whose high-water is reached late in a run; reserving a
+                // generous multiple keeps the steady phase allocation-free
+                // (§5f) without changing behaviour if it is ever exceeded.
+                stack.reserve_blocks(2 * (c + config.server_capacity));
+                ClientState { stack, dirty: false }
             })
             .collect();
         UlcMulti {
@@ -309,6 +327,14 @@ impl<P: MessagePlane> UlcMulti<P> {
     /// The message plane the protocol runs on.
     pub fn plane(&self) -> &P {
         &self.plane
+    }
+
+    /// Mutable access to client `c`'s `uniLRUstack`, for the sharded
+    /// replay executor ([`crate::parallel`]): the stack is lent to a
+    /// worker thread for the parallel phase of an epoch and swapped back
+    /// before the serial commit walk.
+    pub(crate) fn client_stack_mut(&mut self, c: usize) -> &mut UniLruStack {
+        &mut self.clients[c].stack
     }
 
     /// Number of clients.
@@ -492,7 +518,7 @@ impl<P: MessagePlane> UlcMulti<P> {
     /// Delivers the eviction notices riding client `c`'s response.
     /// A notice is stale — and skipped — if the client has meanwhile
     /// re-claimed the block (it owns it again).
-    fn deliver_notices(&mut self, c: usize) {
+    pub(crate) fn deliver_notices(&mut self, c: usize) {
         let mut notices = std::mem::take(&mut self.notices);
         self.plane.deliver_into(c, Direction::Up, &mut notices);
         for &msg in &notices {
@@ -769,6 +795,17 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
 
         out.hit_level = hit_level;
         out.demotions.copy_from_slice(self.scratch.demotions.as_slice());
+    }
+
+    #[inline]
+    fn prefetch(&self, client: ClientId, block: BlockId) {
+        // Semantics-free: pulls the two table rows the upcoming access
+        // will probe — the client stack's status row and the server's
+        // owner row — toward the CPU cache (DESIGN.md §5i).
+        if let Some(cs) = self.clients.get(client.as_usize()) {
+            cs.stack.prefetch(block);
+        }
+        self.server.owner.prefetch(block);
     }
 
     fn num_levels(&self) -> usize {

@@ -230,6 +230,13 @@ impl MultiLevelPolicy for UlcSingle {
         out.demotions.copy_from_slice(self.scratch.demotions.as_slice());
     }
 
+    #[inline]
+    fn prefetch(&self, _client: ClientId, block: BlockId) {
+        // Semantics-free: pulls the uniLRUstack's block-table row for a
+        // soon-to-arrive reference toward the CPU cache (DESIGN.md §5i).
+        self.stack.prefetch(block);
+    }
+
     fn num_levels(&self) -> usize {
         self.stack.num_levels()
     }

@@ -166,6 +166,24 @@ impl UniLruStack {
         }
     }
 
+    /// Pre-sizes the node slab and locator table for `blocks` resident
+    /// entries (cached blocks plus uncached history). The stack still
+    /// grows past the reservation if a run's history exceeds it — this
+    /// only moves the allocations out of the measured steady phase
+    /// (DESIGN.md §5f), it never changes behaviour.
+    pub fn reserve_blocks(&mut self, blocks: usize) {
+        self.list.reserve(blocks);
+        self.map.reserve(blocks);
+    }
+
+    /// Hints the CPU to pull `block`'s locator-table row into cache; see
+    /// [`BlockMap::prefetch`]. Semantics-free, so the batched access
+    /// pipeline may issue it for any upcoming reference.
+    #[inline]
+    pub fn prefetch(&self, block: BlockId) {
+        self.map.prefetch(block);
+    }
+
     /// Bounds the number of stack entries; uncached history beyond the
     /// bound is trimmed from the bottom.
     ///

@@ -65,6 +65,6 @@ pub use ind_lru::IndLru;
 pub use mq_server::LruMqServer;
 pub use plane::{DeliveryBatch, FaultScenario, FaultyPlane, MessagePlane, ReliablePlane};
 pub use protocol::{AccessOutcome, MultiLevelPolicy};
-pub use sim::{simulate, simulate_with_paper_warmup};
+pub use sim::{simulate, simulate_with_paper_warmup, PREFETCH_DISTANCE};
 pub use stats::{FaultSummary, SimStats, TimeBreakdown};
 pub use uni_lru::{UniLru, UniLruVariant};

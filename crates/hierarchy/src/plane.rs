@@ -281,6 +281,17 @@ pub trait MessagePlane: std::fmt::Debug {
     /// in queue order — for invariant checks, not for protocol use.
     fn queued(&self, link: usize, dir: Direction) -> Vec<Message>;
 
+    /// Number of messages queued on `(link, dir)`, deliverable or still
+    /// in flight — always equal to `self.queued(link, dir).len()`, which
+    /// is what the default computes. Implementations override it with an
+    /// O(1), allocation-free count: the sharded commit walk consults it
+    /// per consumed access to decide whether a delivery round is due, so
+    /// it must be as cheap as an empty-queue check.
+    // lint:cold-path fallback only; every shipped plane overrides this with an O(1) allocation-free count
+    fn queued_len(&self, link: usize, dir: Direction) -> usize {
+        self.queued(link, dir).len()
+    }
+
     /// Issues a synchronous demand-read RPC across `link`.
     fn rpc(&mut self, link: usize) -> RpcFate;
 
@@ -371,6 +382,10 @@ impl MessagePlane for ReliablePlane {
             .get(slot(link, dir))
             .map(|q| q.iter().copied().collect())
             .unwrap_or_default()
+    }
+
+    fn queued_len(&self, link: usize, dir: Direction) -> usize {
+        self.queues.get(slot(link, dir)).map_or(0, VecDeque::len)
     }
 
     fn rpc(&mut self, _link: usize) -> RpcFate {
@@ -767,6 +782,10 @@ impl MessagePlane for FaultyPlane {
             .get(&(link, dir))
             .map(|q| q.values().copied().collect())
             .unwrap_or_default()
+    }
+
+    fn queued_len(&self, link: usize, dir: Direction) -> usize {
+        self.queues.get(&(link, dir)).map_or(0, BTreeMap::len)
     }
 
     fn rpc(&mut self, link: usize) -> RpcFate {

@@ -69,6 +69,18 @@ pub trait MultiLevelPolicy {
         *out = self.access(client, block);
     }
 
+    /// Hints that `client` will reference `block` a few accesses from
+    /// now, so the engine may pull the block's table rows toward the CPU
+    /// cache. MUST be semantics-free: calling it (for any argument, in
+    /// any order, or not at all) never changes a subsequent access's
+    /// outcome — the batched pipeline in [`crate::simulate`] issues it
+    /// speculatively ahead of the decode cursor. The default does
+    /// nothing; engines with direct-indexed tables override it.
+    #[inline]
+    fn prefetch(&self, client: ClientId, block: BlockId) {
+        let _ = (client, block);
+    }
+
     /// Number of cache levels.
     fn num_levels(&self) -> usize;
 

@@ -73,6 +73,10 @@ impl MessagePlane for MapReliablePlane {
             .unwrap_or_default()
     }
 
+    fn queued_len(&self, link: usize, dir: Direction) -> usize {
+        self.queues.get(&(link, dir)).map_or(0, VecDeque::len)
+    }
+
     fn rpc(&mut self, _link: usize) -> RpcFate {
         self.acct.rpcs += 1;
         RpcFate::Delivered

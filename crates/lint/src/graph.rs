@@ -16,8 +16,9 @@
 //!   findings never silently miss a call;
 //! * **trait-method edges**: a call resolving to a trait method connects
 //!   to the declaration's default body and to every implementor;
-//! * **root discovery**: per-access roots are every `access_into` /
-//!   `deliver_into` / `take_crashes_into` body plus any function carrying
+//! * **root discovery**: per-access roots are every [`ROOT_FN_NAMES`]
+//!   body (`access_into`, the plane delivery fns, the obs recording path
+//!   and the sharded executor's epoch loops) plus any function carrying
 //!   a `// lint:hot-root` marker; a `// lint:cold-path(reason)` marker
 //!   prunes traversal into deliberate non-steady-state code (crash
 //!   recovery, reconciliation) that allocates by design.
@@ -33,12 +34,21 @@ use crate::rules::FileKind;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Function names that are per-access roots by convention: the pooled
-/// scratch-engine entry points of every protocol and message plane, plus
-/// the observability recording path (`RingRecorder::record_event`) whose
+/// scratch-engine entry points of every protocol and message plane, the
+/// observability recording path (`RingRecorder::record_event`) whose
 /// steady-state body must stay allocation-free with a recorder attached
-/// (DESIGN.md §5h).
-pub const ROOT_FN_NAMES: [&str; 4] =
-    ["access_into", "deliver_into", "take_crashes_into", "record_event"];
+/// (DESIGN.md §5h), and the sharded replay executor's per-epoch inner
+/// loops (`advance_client_run` on the worker side, `commit_epoch` on the
+/// deterministic commit side — DESIGN.md §5i), which run once per
+/// reference and are held to the same bar.
+pub const ROOT_FN_NAMES: [&str; 6] = [
+    "access_into",
+    "deliver_into",
+    "take_crashes_into",
+    "record_event",
+    "advance_client_run",
+    "commit_epoch",
+];
 
 /// Marker comment that adds the next function to the root set.
 pub const HOT_ROOT_MARKER: &str = "lint:hot-root";

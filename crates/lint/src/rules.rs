@@ -165,9 +165,10 @@ pub fn explain(rule: &str) -> Option<&'static str> {
 /// runs for every trace record, so per-block state must use interned
 /// dense tables (`ulc_trace::BlockMap`) or the vendored `FxHashMap` —
 /// never SipHash `std::collections` tables. Matched as path suffixes.
-pub const HOT_PATH_MODULES: [&str; 10] = [
+pub const HOT_PATH_MODULES: [&str; 11] = [
     "crates/core/src/stack.rs",
     "crates/core/src/multi.rs",
+    "crates/core/src/parallel.rs",
     "crates/hierarchy/src/uni_lru.rs",
     "crates/hierarchy/src/eviction_based.rs",
     "crates/hierarchy/src/plane.rs",

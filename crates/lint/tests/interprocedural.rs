@@ -151,3 +151,56 @@ fn cold_path_marker_prunes_the_subtree() {
     let diags = lint_files(&files);
     assert!(by_rule(&diags, RULE_HOT_PATH_ALLOC).is_empty(), "{diags:#?}");
 }
+
+/// The sharded replay executor's per-epoch loops (`advance_client_run`
+/// on the worker side, `commit_epoch` on the deterministic commit side,
+/// DESIGN.md §5i) are roots by name: an allocation injected anywhere
+/// under either is caught with the full call-chain trace.
+#[test]
+fn executor_epoch_loops_are_roots_by_name() {
+    let files = vec![
+        unit(
+            "crates/a/src/parallel.rs",
+            "/// Worker-side run consumer.\n\
+             pub fn advance_client_run(b: u32) -> u32 {\n\
+             \x20   stage(b)\n\
+             }\n\
+             /// Commit-side epoch walk.\n\
+             pub fn commit_epoch(b: u32) -> u32 {\n\
+             \x20   let log = vec![b];\n\
+             \x20   log[0]\n\
+             }\n",
+        ),
+        unit(
+            "crates/b/src/scratch.rs",
+            "/// Helper one module away that allocates.\n\
+             pub fn stage(b: u32) -> u32 {\n\
+             \x20   let v = b.to_string();\n\
+             \x20   v.len() as u32\n\
+             }\n",
+        ),
+    ];
+    let diags = lint_files(&files);
+    let alloc = by_rule(&diags, RULE_HOT_PATH_ALLOC);
+    assert_eq!(alloc.len(), 2, "{diags:#?}");
+    let direct = alloc
+        .iter()
+        .find(|d| d.file == "crates/a/src/parallel.rs")
+        .expect("direct vec! under commit_epoch flagged");
+    assert!(
+        direct.message.contains("commit_epoch"),
+        "{}",
+        direct.message
+    );
+    let via_helper = alloc
+        .iter()
+        .find(|d| d.file == "crates/b/src/scratch.rs")
+        .expect("helper alloc under advance_client_run flagged");
+    assert!(
+        via_helper
+            .message
+            .contains("advance_client_run (crates/a/src/parallel.rs:2)"),
+        "{}",
+        via_helper.message
+    );
+}

@@ -76,6 +76,13 @@ impl RingRecorder {
         &self.metrics
     }
 
+    /// Mutable access to the metrics registry, for folding per-shard
+    /// registries into a session-level one
+    /// ([`MetricsRegistry::merge`]) after a sharded replay.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
     /// Accesses recorded so far.
     pub fn ticks(&self) -> u64 {
         self.tick

@@ -301,6 +301,50 @@ impl<V> BlockMap<V> {
         }
     }
 
+    /// Reserves room for `additional` more entries in the hashed tier.
+    ///
+    /// For [`TableMode::Dense`] this pre-sizes the sparse fallback (the
+    /// tier file-set ids land in); the direct slot vector is left alone —
+    /// it is grown to the largest sub-[`DIRECT_LIMIT`] id seen, which any
+    /// warm-up phase discovers, while the fallback's occupancy high-water
+    /// can be reached arbitrarily late in a run and would otherwise pay a
+    /// rehash inside a measured steady phase (DESIGN.md §5f). For
+    /// [`TableMode::Hashed`] the whole map is reserved.
+    pub fn reserve(&mut self, additional: usize) {
+        match &mut self.repr {
+            Repr::Dense { sparse, .. } => sparse.reserve(additional),
+            Repr::Hashed(m) => m.reserve(additional),
+        }
+    }
+
+    /// Hints the CPU to pull the direct-table slot for `block` into
+    /// cache. A no-op for out-of-range or sparse ids and on non-x86_64
+    /// targets; never touches map contents, so calling it (or not) for
+    /// any block is semantics-free — the batched access pipeline issues
+    /// it a few references ahead of the access itself.
+    #[inline]
+    pub fn prefetch(&self, block: BlockId) {
+        #[cfg(target_arch = "x86_64")]
+        if let Repr::Dense { direct, .. } = &self.repr {
+            let raw = block.raw();
+            if raw < DIRECT_LIMIT {
+                if let Some(slot) = direct.get(raw as usize) {
+                    // SAFETY: `slot` is a live reference into `direct`;
+                    // prefetch dereferences nothing, it only hints the
+                    // cache about a valid address.
+                    unsafe {
+                        std::arch::x86_64::_mm_prefetch(
+                            (slot as *const Option<V>).cast::<i8>(),
+                            std::arch::x86_64::_MM_HINT_T0,
+                        );
+                    }
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = block;
+    }
+
     /// Number of entries with a value.
     pub fn len(&self) -> usize {
         match &self.repr {

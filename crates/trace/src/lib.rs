@@ -11,7 +11,9 @@
 //!   ([`BlockId`], [`ClientId`], [`TraceRecord`], [`Trace`]);
 //! * composable pattern generators in [`patterns`];
 //! * the paper's named workloads, rebuilt synthetically, in [`synthetic`];
-//! * multi-client trace interleaving in [`multi`].
+//! * multi-client trace interleaving in [`multi`];
+//! * static-exclusivity classification and per-client epoch runs for the
+//!   deterministic sharded replay engine in [`epoch`].
 //!
 //! Everything is deterministic under explicit seeds.
 //!
@@ -31,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 mod block;
+pub mod epoch;
 pub mod intern;
 pub mod io;
 pub mod multi;

@@ -38,16 +38,27 @@ fi
 cargo test -q -p ulc-core --test protocol_comparison
 cargo test -q -p ulc-core --test chaos --features debug_invariants seeded_chaos_scenario_recovers
 
+# Sharded replay gate (ISSUE 9, DESIGN.md §5i): the seeded differential
+# smoke suite proves the bulk-synchronous executor bit-identical to the
+# serial driver — every multi-client workload at 1/2/8 shards, both
+# claim rules, a zero-fault FaultyPlane on the parallel path, the crashy
+# scenario on the serial fallback, arbitrary epoch lengths and
+# replay_range splits, plus a 24-case shard-count-invariance property.
+cargo test -q -p ulc-core --test parallel_replay
+
 # Throughput + allocation gates (ISSUES 4 and 6): the differential suites
 # above prove the interned flat tables and the pooled scratch paths
 # bit-identical; this proves they stay fast and allocation-free. The
 # smoke-scale harness rewrites BENCH_sim.json and fails if any interned
 # accesses/sec rate drops more than 25% below the conservative checked-in
 # baseline (BENCH_baseline.json, recorded well under a healthy machine's
-# measurement so scheduler noise cannot trip the gate). Building with
+# measurement so scheduler noise cannot trip the gate), or if a wide
+# (>= 8-thread) sharded ULC-multi row falls under 2x its cell's serial
+# baseline rate (the E11 shard-scaling floor). Building with
 # --features alloc_stats installs the counting global allocator, so the
-# same run also fails if ULC, uniLRU or evict-reload report a nonzero
-# steady-state allocations/access rate (DESIGN.md §5f).
+# same run also fails if ULC, uniLRU, evict-reload or ULC-multi (serial
+# and sharded alike) report a nonzero steady-state allocations/access
+# rate (DESIGN.md §5f).
 cargo run -q --release -p ulc-bench --features alloc_stats --bin sweep -- \
   --bench-only --scale=smoke \
   --bench-json=BENCH_sim.json --bench-baseline=BENCH_baseline.json
