@@ -3,7 +3,16 @@
 //!
 //! Usage: `sweep [--scale=smoke|default|full] [--json=<path>]
 //! [--faults=<scenario>] [--bench-json=<path>]
-//! [--bench-baseline=<path>] [--bench-only] [--threads=<n>[,<n>...]]`.
+//! [--bench-baseline=<path>] [--bench-only] [--threads=<n>[,<n>...]]
+//! [--obs-export=<path>]`.
+//!
+//! `--obs-export=<path>` writes the flight-recorder export
+//! ([`ulc_bench::flight`]): per-protocol windowed timelines, causal
+//! span costs and the event-ring tail, validated in-process by
+//! [`ulc_bench::flight::verify_export`] (exact window-sum
+//! reconciliation plus bit-exact derived-report recomputation). The run
+//! exits non-zero if validation fails; builds without the `obs` feature
+//! skip the export with a warning.
 //!
 //! The figure renders go to stdout in a fixed order; the
 //! [`ulc_bench::sweep::SweepSummary`] (threads, wall/cpu milliseconds,
@@ -41,7 +50,8 @@
 
 use ulc_bench::sweep::Sweep;
 use ulc_bench::{
-    ablation, degradation, fig2, fig3, fig6, fig7, maybe_write_json, table1, throughput, Scale,
+    ablation, degradation, fig2, fig3, fig6, fig7, flight, maybe_write_json, table1, throughput,
+    Scale,
 };
 use ulc_hierarchy::FaultScenario;
 
@@ -149,11 +159,46 @@ fn run_bench(scale: Scale, json: Option<&str>, baseline: Option<&str>) -> bool {
     ok
 }
 
+/// Collects the flight-recorder export (`--obs-export=<path>`), writes
+/// it, and gates on [`flight::verify_export`]. Returns `false` if the
+/// export is invalid (a build without `obs` only warns — there is
+/// nothing to record).
+fn run_obs_export(scale: Scale, path: &str) -> bool {
+    if !ulc_obs::recording_compiled() {
+        eprintln!("obs-export: skipped (build without the `obs` feature records nothing)");
+        return true;
+    }
+    let export = flight::collect(scale);
+    let failures = flight::verify_export(&export);
+    let file = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    serde_json::to_writer_pretty(file, &export).expect("flight export serialises");
+    eprintln!("wrote {path}");
+    if failures.is_empty() {
+        eprintln!(
+            "obs-export gate: ok ({} cells, window = {} ticks)",
+            export.cells.len(),
+            export.window_len
+        );
+        true
+    } else {
+        for f in &failures {
+            eprintln!("obs-export gate FAILED: {f}");
+        }
+        false
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let bench_json = arg_value("--bench-json=");
     let bench_baseline = arg_value("--bench-baseline=");
     let bench_only = std::env::args().any(|a| a == "--bench-only");
+    if let Some(path) = arg_value("--obs-export=") {
+        if !run_obs_export(scale, &path) {
+            std::process::exit(1);
+        }
+    }
     if bench_only {
         if !run_bench(scale, bench_json.as_deref(), bench_baseline.as_deref()) {
             std::process::exit(1);

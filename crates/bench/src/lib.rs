@@ -28,6 +28,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig6;
 pub mod fig7;
+pub mod flight;
 pub mod obs_report;
 pub mod sweep;
 pub mod table1;

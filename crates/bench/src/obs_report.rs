@@ -35,7 +35,7 @@ use ulc_trace::{synthetic, Trace};
 pub const OBS_RING_CAPACITY: usize = 1 << 16;
 
 /// One nonzero histogram bucket: `n` values in `[lo, hi]`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BucketDump {
     /// Inclusive lower bound of the bucket.
     pub lo: u64,
@@ -46,7 +46,7 @@ pub struct BucketDump {
 }
 
 /// One pre-registered power-of-two histogram, nonzero buckets only.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HistogramDump {
     /// Histogram name (`lld_r`, `demote_batch`, `rpc_rounds`).
     pub name: String,
@@ -59,7 +59,7 @@ pub struct HistogramDump {
 }
 
 /// One whole-run counter.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CounterDump {
     /// Counter name (see `ulc_obs::CounterId::name`).
     pub name: String,
@@ -68,7 +68,7 @@ pub struct CounterDump {
 }
 
 /// Per-level tallies of one cell.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LevelDump {
     /// Level index, 0 = client. Boundary-indexed fields (demotions,
     /// buffered) describe boundary `level` → `level + 1`.
@@ -106,6 +106,10 @@ pub struct ObsProtocolReport {
     pub events_dropped: u64,
     /// `"ok"`, or the first discrepancy the conservation kit found.
     pub conservation: String,
+    /// Event-log residency replay verdict: `"verified"`, `"skipped: ring
+    /// dropped N events"`, `"failed: ..."`, or `"n/a"` for protocols
+    /// whose placement is not single-residency.
+    pub residency: String,
 }
 
 /// The merged view across all cells (the sweep-worker fold).
@@ -113,6 +117,10 @@ pub struct ObsProtocolReport {
 pub struct MergedDump {
     /// Worker threads the cells fanned across.
     pub workers: usize,
+    /// Events the cell rings overwrote, summed over every cell. Nonzero
+    /// means some event streams are incomplete even though all counters
+    /// stay exact.
+    pub events_dropped: u64,
     /// Counters summed over every cell.
     pub counters: Vec<CounterDump>,
     /// Histograms merged over every cell, plus the trace-level `lld_r`.
@@ -132,17 +140,26 @@ pub struct ObsSection {
 
 impl ObsSection {
     /// Conservation failures across all cells, empty when every cell
-    /// reconciled (`"ok"`).
+    /// reconciled (`"ok"`). A failed residency replay counts too; a
+    /// skipped one (truncated ring) does not.
     pub fn conservation_failures(&self) -> Vec<String> {
-        self.protocols
+        let mut fails: Vec<String> = self
+            .protocols
             .iter()
             .filter(|p| p.conservation != "ok")
             .map(|p| format!("{}/{}: {}", p.protocol, p.workload, p.conservation))
-            .collect()
+            .collect();
+        fails.extend(
+            self.protocols
+                .iter()
+                .filter(|p| p.residency.starts_with("failed"))
+                .map(|p| format!("{}/{}: residency {}", p.protocol, p.workload, p.residency)),
+        );
+        fails
     }
 }
 
-fn dump_hist(name: &str, h: &Pow2Histogram) -> HistogramDump {
+pub(crate) fn dump_hist(name: &str, h: &Pow2Histogram) -> HistogramDump {
     HistogramDump {
         name: name.to_string(),
         count: h.count(),
@@ -151,7 +168,7 @@ fn dump_hist(name: &str, h: &Pow2Histogram) -> HistogramDump {
     }
 }
 
-fn dump_counters(m: &MetricsRegistry) -> Vec<CounterDump> {
+pub(crate) fn dump_counters(m: &MetricsRegistry) -> Vec<CounterDump> {
     CounterId::ALL
         .iter()
         .map(|&id| CounterDump {
@@ -161,7 +178,7 @@ fn dump_counters(m: &MetricsRegistry) -> Vec<CounterDump> {
         .collect()
 }
 
-fn dump_levels(m: &MetricsRegistry) -> Vec<LevelDump> {
+pub(crate) fn dump_levels(m: &MetricsRegistry) -> Vec<LevelDump> {
     (0..m.levels())
         .map(|level| {
             let row = m.level(level);
@@ -177,14 +194,14 @@ fn dump_levels(m: &MetricsRegistry) -> Vec<LevelDump> {
         .collect()
 }
 
-fn dump_hists(m: &MetricsRegistry) -> Vec<HistogramDump> {
+pub(crate) fn dump_hists(m: &MetricsRegistry) -> Vec<HistogramDump> {
     HistId::ALL
         .iter()
         .map(|&id| dump_hist(id.name(), m.hist(id)))
         .collect()
 }
 
-fn stats_view(stats: &SimStats) -> check::StatsView<'_> {
+pub(crate) fn stats_view(stats: &SimStats) -> check::StatsView<'_> {
     check::StatsView {
         references: stats.references,
         hits_by_level: &stats.hits_by_level,
@@ -195,9 +212,13 @@ fn stats_view(stats: &SimStats) -> check::StatsView<'_> {
 
 /// Runs one conservation cell: recording enabled from the first
 /// reference (warm-up 0), the whole run reconciled against `SimStats`.
+/// When `check_residency` is set the event log is additionally replayed
+/// to a single-residency placement; a wrapped ring downgrades that leg
+/// to a distinct "skipped" verdict rather than a failure.
 fn conservation_cell<P: MultiLevelPolicy + Observe>(
     protocol: &str,
     workload: &str,
+    check_residency: bool,
     mut policy: P,
     trace: &Trace,
 ) -> (ObsProtocolReport, Option<MetricsRegistry>) {
@@ -228,6 +249,7 @@ fn conservation_cell<P: MultiLevelPolicy + Observe>(
                 events_logged: 0,
                 events_dropped: 0,
                 conservation: "recorder unavailable (obs feature off)".to_string(),
+                residency: "n/a".to_string(),
             },
             None,
         );
@@ -235,6 +257,17 @@ fn conservation_cell<P: MultiLevelPolicy + Observe>(
     let conservation = match check::reconcile(rec, &stats_view(&stats)) {
         Ok(()) => "ok".to_string(),
         Err(e) => e,
+    };
+    let residency = if check_residency {
+        match check::replay_residency(rec.log(), levels) {
+            Ok(check::ResidencyReplay::Verified) => "verified".to_string(),
+            Ok(check::ResidencyReplay::SkippedTruncated { dropped }) => {
+                format!("skipped: ring dropped {dropped} events")
+            }
+            Err(e) => format!("failed: {e}"),
+        }
+    } else {
+        "n/a".to_string()
     };
     let m = rec.metrics();
     (
@@ -248,6 +281,7 @@ fn conservation_cell<P: MultiLevelPolicy + Observe>(
             events_logged: rec.log().len(),
             events_dropped: rec.log().dropped(),
             conservation,
+            residency,
         },
         Some(m.clone()),
     )
@@ -277,6 +311,7 @@ pub fn collect_sized(refs: usize) -> ObsSection {
         conservation_cell(
             "ULC",
             "loop-100k",
+            true,
             UlcSingle::new(UlcConfig::new(vec![40_000, 80_000])),
             &LoopingPattern::new(100_000).generate(refs),
         )
@@ -285,6 +320,7 @@ pub fn collect_sized(refs: usize) -> ObsSection {
         conservation_cell(
             "uniLRU",
             "loop-100k",
+            false,
             UniLru::single_client(vec![40_000, 80_000]),
             &LoopingPattern::new(100_000).generate(refs),
         )
@@ -293,6 +329,7 @@ pub fn collect_sized(refs: usize) -> ObsSection {
         conservation_cell(
             "indLRU",
             "loop-100k",
+            false,
             IndLru::single_client(vec![40_000, 80_000]),
             &LoopingPattern::new(100_000).generate(refs),
         )
@@ -301,6 +338,7 @@ pub fn collect_sized(refs: usize) -> ObsSection {
         conservation_cell(
             "evict-reload",
             "loop-100k",
+            false,
             EvictionBased::new(vec![40_000], 80_000, 5),
             &LoopingPattern::new(100_000).generate(refs),
         )
@@ -309,6 +347,7 @@ pub fn collect_sized(refs: usize) -> ObsSection {
         conservation_cell(
             "MQ",
             "loop-100k",
+            false,
             LruMqServer::new(vec![40_000], 80_000),
             &LoopingPattern::new(100_000).generate(refs),
         )
@@ -317,6 +356,7 @@ pub fn collect_sized(refs: usize) -> ObsSection {
         conservation_cell(
             "buffered",
             "loop-100k",
+            false,
             DemotionBuffer::new(UniLru::single_client(vec![40_000, 80_000]), 64, 0.5),
             &LoopingPattern::new(100_000).generate(refs),
         )
@@ -325,6 +365,7 @@ pub fn collect_sized(refs: usize) -> ObsSection {
         conservation_cell(
             "ULC-multi",
             "httpd-multi",
+            false,
             UlcMulti::new(UlcMultiConfig::uniform(7, 1024, 8192)),
             &synthetic::httpd_multi(refs),
         )
@@ -347,11 +388,13 @@ pub fn collect_sized(refs: usize) -> ObsSection {
             merged.observe(HistId::LldR, s.lld_r);
         }
     }
+    let events_dropped = protocols.iter().map(|p| p.events_dropped).sum();
     ObsSection {
         ring_capacity: OBS_RING_CAPACITY,
         protocols,
         merged: MergedDump {
             workers: worker_count(),
+            events_dropped,
             counters: dump_counters(&merged),
             histograms: dump_hists(&merged),
         },
@@ -388,9 +431,11 @@ mod tests {
                 events_logged: 8,
                 events_dropped: 2,
                 conservation: "ok".into(),
+                residency: "skipped: ring dropped 2 events".into(),
             }],
             merged: MergedDump {
                 workers: 4,
+                events_dropped: 2,
                 counters: Vec::new(),
                 histograms: Vec::new(),
             },
@@ -399,6 +444,8 @@ mod tests {
         let back: ObsSection = serde_json::from_str(&text).expect("deserialises");
         assert_eq!(back.protocols[0].protocol, "ULC");
         assert_eq!(back.merged.workers, 4);
+        assert_eq!(back.merged.events_dropped, 2);
+        // A skipped residency replay is surfaced, not treated as failure.
         assert!(back.conservation_failures().is_empty());
     }
 
@@ -409,6 +456,7 @@ mod tests {
             protocols: Vec::new(),
             merged: MergedDump {
                 workers: 1,
+                events_dropped: 0,
                 counters: Vec::new(),
                 histograms: Vec::new(),
             },
@@ -423,10 +471,24 @@ mod tests {
             events_logged: 0,
             events_dropped: 0,
             conservation: "misses: recorded 3, stats say 4".into(),
+            residency: "n/a".into(),
+        });
+        section.protocols.push(ObsProtocolReport {
+            protocol: "ULC".into(),
+            workload: "loop-100k".into(),
+            refs: 10,
+            counters: Vec::new(),
+            per_level: Vec::new(),
+            histograms: Vec::new(),
+            events_logged: 0,
+            events_dropped: 0,
+            conservation: "ok".into(),
+            residency: "failed: hit at level 1 but replay places the block at 0".into(),
         });
         let fails = section.conservation_failures();
-        assert_eq!(fails.len(), 1);
+        assert_eq!(fails.len(), 2);
         assert!(fails[0].contains("uniLRU/loop-100k"));
+        assert!(fails[1].contains("ULC/loop-100k: residency failed"));
     }
 
     #[cfg(feature = "obs")]
@@ -446,5 +508,10 @@ mod tests {
             .find(|c| c.name == "accesses")
             .expect("accesses counter");
         assert_eq!(accesses.value, 7 * 4_000);
+        // At this scale the ULC ring holds the whole stream, so the
+        // residency replay actually runs (and verifies).
+        let ulc = section.protocols.iter().find(|p| p.protocol == "ULC").expect("ULC cell");
+        assert_eq!(ulc.residency, "verified");
+        assert!(section.protocols.iter().all(|p| p.protocol == "ULC" || p.residency == "n/a"));
     }
 }

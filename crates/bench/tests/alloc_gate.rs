@@ -92,16 +92,24 @@ fn sharded_replay_steady_phase_does_not_allocate() {
 }
 
 /// The §5f contract must hold with a live observability recorder
-/// attached (DESIGN.md §5h): the ring is pre-allocated and the registry
-/// is index arithmetic, so recording every event adds zero steady-state
-/// allocations. Attaching the recorder allocates once, before the
-/// measured phase.
+/// attached (DESIGN.md §5h, §5j): the ring is pre-allocated, the
+/// registry is index arithmetic, and the windowed timeline is a
+/// fixed-capacity array of registries whose current window is mirrored
+/// by the same index arithmetic — so recording every event, span cost
+/// and window sample adds zero steady-state allocations. Attaching the
+/// recorder and timeline allocates once, before the measured phase.
+/// (No BENCH_baseline.json re-record is needed for any of this: the
+/// recorder only exists behind the `obs` feature and the baseline-gated
+/// sweep builds with `alloc_stats` alone.)
 #[cfg(feature = "obs")]
 #[test]
 fn settled_engines_do_not_allocate_per_access_while_recording() {
     fn with_recorder<P: MultiLevelPolicy + Observe>(mut policy: P) -> P {
         let levels = policy.num_levels();
         policy.obs_mut().enable(levels, 1 << 12);
+        // 64 windows of 1k ticks comfortably cover both traces; span
+        // costs flush into the current window at every span_end.
+        policy.obs_mut().enable_timeline(1_000, 64);
         policy
     }
 
@@ -129,5 +137,33 @@ fn settled_engines_do_not_allocate_per_access_while_recording() {
         steady_allocs(multi, &multi_trace),
         0,
         "ULC-multi allocated while recording"
+    );
+}
+
+/// The sharded executor under a live recorder with a windowed timeline
+/// attached: the global-tick stamping and the per-epoch fold both run
+/// on the orchestrating thread, and neither may touch the allocator in
+/// the steady phase — window merges are in-place over the pre-allocated
+/// registries and span costs batch into a plain counter.
+#[cfg(feature = "obs")]
+#[test]
+fn sharded_replay_steady_phase_does_not_allocate_while_recording() {
+    let trace = synthetic::httpd_multi(40_000);
+    let mut policy = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048));
+    let levels = policy.num_levels();
+    policy.obs_mut().enable(levels, 1 << 12);
+    policy.obs_mut().enable_timeline(1_000, 64);
+    let mut replayer = ShardedReplayer::new(&trace, 4);
+    let mut stats = SimStats::new(4);
+    let warmup = trace.warmup_len();
+    let split = trace.len() - trace.len() / 10;
+    replayer.replay_range(&mut policy, &trace, 0, split, warmup, &mut stats);
+    reset();
+    replayer.replay_range(&mut policy, &trace, split, trace.len(), warmup, &mut stats);
+    let snap = snapshot();
+    std::hint::black_box(&stats);
+    assert_eq!(
+        snap.allocs, 0,
+        "sharded steady phase allocated while recording"
     );
 }

@@ -1,0 +1,101 @@
+//! Golden snapshot of the flight-recorder export schema (`obs-tool
+//! export`, DESIGN.md §5j / EXPERIMENTS.md E12), plus the round-trip
+//! contract the `obs-tool verify` gate relies on: parsing a written
+//! export and recomputing its derived report reproduces it exactly.
+#![cfg(feature = "obs")]
+
+use std::collections::BTreeSet;
+use ulc_bench::flight::{self, FlightExport};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/obs_export_schema.txt"
+);
+
+/// Collects every key path of `v` into `paths` (same walk as
+/// `bench_json_schema`): objects append key names, arrays union their
+/// elements under `[]`, leaves record a type tag.
+fn walk(v: &serde::Value, prefix: &str, paths: &mut BTreeSet<String>) {
+    match v {
+        serde::Value::Object(fields) => {
+            for (key, val) in fields {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                walk(val, &path, paths);
+            }
+        }
+        serde::Value::Array(items) => {
+            let path = format!("{prefix}[]");
+            if items.is_empty() {
+                paths.insert(path.clone());
+            }
+            for item in items {
+                walk(item, &path, paths);
+            }
+        }
+        serde::Value::Null => {
+            paths.insert(format!("{prefix}: null"));
+        }
+        serde::Value::Bool(_) => {
+            paths.insert(format!("{prefix}: bool"));
+        }
+        serde::Value::U64(_) | serde::Value::I64(_) | serde::Value::F64(_) => {
+            paths.insert(format!("{prefix}: number"));
+        }
+        serde::Value::Str(_) => {
+            paths.insert(format!("{prefix}: string"));
+        }
+    }
+}
+
+/// A small live export — a real `collect_sized` run, so the snapshot
+/// covers exactly what `obs-tool export` writes. Sized past one wrap of
+/// the tpcc1 loop so the warm-up crossover is `Some` and the
+/// `CrossoverPoint` schema is pinned along with everything else.
+fn representative_export() -> FlightExport {
+    flight::collect_sized(24_000, 1_500)
+}
+
+#[test]
+fn obs_export_schema_matches_golden() {
+    let export = representative_export();
+    let value = serde_json::to_value(&export);
+    let mut paths = BTreeSet::new();
+    walk(&value, "", &mut paths);
+    let mut snapshot = String::new();
+    for p in &paths {
+        snapshot.push_str(p);
+        snapshot.push('\n');
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &snapshot).expect("golden file writes");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("golden schema file exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        snapshot, golden,
+        "flight export schema drifted from tests/golden/obs_export_schema.txt; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn export_verifies_after_a_full_json_round_trip() {
+    // The tier-1 contract behind `obs-tool verify`: write → parse →
+    // recompute derived → bit-identical, with every window sum
+    // reconciling against the final registries.
+    let export = representative_export();
+    assert_eq!(flight::verify_export(&export), Vec::<String>::new());
+    let text = serde_json::to_string_pretty(&export).expect("serialises");
+    let back: FlightExport = serde_json::from_str(&text).expect("parses");
+    assert_eq!(back, export, "export must survive the round trip bit-exactly");
+    assert_eq!(flight::verify_export(&back), Vec::<String>::new());
+    assert_eq!(flight::derive_report(&back.cells), back.derived);
+    // The chrome conversion of the parsed export is itself valid JSON.
+    let trace = flight::chrome_trace(&back);
+    serde_json::parse(&trace).expect("chrome trace parses");
+}

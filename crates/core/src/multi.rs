@@ -674,7 +674,7 @@ impl<P: MessagePlane> MultiLevelPolicy for UlcMulti<P> {
 
         // The demand-read exchange for this reference.
         let fate = self.plane.rpc(c);
-        self.obs.on_rpc();
+        self.obs.on_rpc(1);
         if fate != RpcFate::Delivered {
             self.obs.on_fault(1, block.raw());
         }

@@ -61,7 +61,7 @@ use std::thread::JoinHandle;
 use ulc_hierarchy::plane::{Direction, MessagePlane};
 use ulc_hierarchy::{simulate, AccessOutcome, MultiLevelPolicy, SimStats, PREFETCH_DISTANCE};
 use ulc_obs::{Observe, ObsHandle};
-use ulc_trace::epoch::{EpochRuns, ReplayPlan, DEFAULT_EPOCH_LEN};
+use ulc_trace::epoch::{EpochRuns, ReplayPlan, RunRef, DEFAULT_EPOCH_LEN};
 use ulc_trace::Trace;
 
 /// Ring capacity for each worker-shard recorder when observability is
@@ -82,8 +82,8 @@ struct Cell {
     /// and the registries are merged into the policy's recorder at fold
     /// time. Disabled (no-op) unless the policy's recorder is enabled.
     obs: ObsHandle,
-    /// The client's run for the current epoch.
-    run: Vec<ulc_trace::BlockId>,
+    /// The client's run for the current epoch (block + global position).
+    run: Vec<RunRef>,
     /// How many leading references of `run` the worker consumed.
     done: usize,
 }
@@ -124,14 +124,19 @@ fn worker_loop(shared: &Shared, me: usize) {
 fn advance_client_run(cell: &mut Cell) {
     cell.done = 0;
     for i in 0..cell.run.len() {
-        let block = cell.run[i];
+        let RunRef { block, pos } = cell.run[i];
         if cell.stack.cached_level(block) != Some(0) {
             break;
         }
         // The serial hook order for a private hit: begin, the demand
-        // RPC, the hit, the (level-0) retrieve.
+        // RPC, the hit, the (level-0) retrieve. The tick is re-stamped
+        // to the reference's global position first, so windowed
+        // timelines land each access in the window the serial driver
+        // would use (`begin_access` advances the stamp to `pos + 1`,
+        // the 1-based serial tick).
+        cell.obs.set_tick(pos);
         cell.obs.begin_access();
-        cell.obs.on_rpc();
+        cell.obs.on_rpc(1);
         cell.obs.on_hit(0, block.raw());
         let res = cell.stack.access_into(block, &mut cell.scratch);
         debug_assert_eq!(
@@ -175,6 +180,13 @@ fn commit_epoch<P: MessagePlane>(
             // would deliver them. (An empty delivery bumps no
             // accounting on any plane, so it is skipped outright.)
             seen[c] += 1;
+            // Keep the policy recorder's tick (and timeline window)
+            // aligned with the serial axis even though this access was
+            // recorded shard-side: any tallies arriving between here
+            // and the next full access (e.g. post-run plane-fault
+            // folding) must land in the same window as under the
+            // serial driver.
+            policy.obs_mut().set_tick(idx as u64 + 1);
             if policy.plane().queued_len(c, Direction::Up) > 0 {
                 policy.deliver_notices(c);
             }
@@ -185,6 +197,11 @@ fn commit_epoch<P: MessagePlane>(
             if let Some(ahead) = records.get(idx + PREFETCH_DISTANCE) {
                 policy.prefetch(ahead.client, ahead.block);
             }
+            // Re-stamp before the access: consumed positions advanced
+            // shard-side, so the policy recorder's own tick lags the
+            // global axis. `begin_access` inside `access_into` moves
+            // the stamp to `idx + 1`, the serial 1-based tick.
+            policy.obs_mut().set_tick(idx as u64);
             policy.access_into(r.client, r.block, full_out);
             if idx >= warmup {
                 stats.record(full_out);
@@ -396,9 +413,10 @@ impl ShardedReplayer {
         }
     }
 
-    /// Finishes every shard recorder and merges its metrics registry
-    /// into the policy's recorder, then resets the shard recorders. A
-    /// no-op when observability is off.
+    /// Finishes every shard recorder and folds it into the policy's
+    /// recorder ([`ulc_obs::RingRecorder::absorb`]: metrics registry
+    /// plus window-aligned timeline), then resets the shard recorders.
+    /// A no-op when observability is off.
     pub fn fold_obs<P: MessagePlane>(&mut self, policy: &mut UlcMulti<P>) {
         for cell in &self.shared.cells {
             let mut cell = cell.lock().expect("replay cell poisoned");
@@ -409,23 +427,41 @@ impl ShardedReplayer {
             if let (Some(shard), Some(rec)) =
                 (cell.obs.recorder(), policy.obs_mut().recorder_mut())
             {
-                rec.metrics_mut().merge(shard.metrics());
+                rec.absorb(shard);
             }
             cell.obs = ObsHandle::default();
         }
     }
 
     /// Enables shard recorders iff the policy's recorder is enabled, so
-    /// consumed accesses record the same hooks the serial path would.
+    /// consumed accesses record the same hooks the serial path would —
+    /// mirroring the policy recorder's span cost model and timeline
+    /// geometry so the fold is bit-identical to the serial recorder.
     fn sync_obs<P: MessagePlane>(&mut self, policy: &UlcMulti<P>) {
         if !policy.obs().is_enabled() {
             return;
         }
         let levels = policy.num_levels();
+        let cost_model = policy.obs().recorder().map(|r| r.cost_model());
+        let timeline_geometry = policy
+            .obs()
+            .recorder()
+            .and_then(|r| r.timeline())
+            .map(|t| (t.window_len(), t.capacity()));
         for cell in &self.shared.cells {
             let mut cell = cell.lock().expect("replay cell poisoned");
             if !cell.obs.is_enabled() {
                 cell.obs.enable(levels, SHARD_OBS_CAPACITY);
+            }
+            if let Some(rec) = cell.obs.recorder_mut() {
+                if let Some(m) = cost_model {
+                    rec.set_cost_model(m);
+                }
+                if let Some((window_len, capacity)) = timeline_geometry {
+                    if rec.timeline().is_none() {
+                        rec.enable_timeline(window_len, capacity);
+                    }
+                }
             }
         }
     }

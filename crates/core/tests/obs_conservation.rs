@@ -7,8 +7,16 @@
 //! surfaced ± buffered. For the default-config exclusive `UlcSingle`
 //! the event log alone must additionally replay to a consistent
 //! single-residency placement ([`ulc_obs::check::replay_residency`]).
+//!
+//! Every run also carries a windowed [`ulc_obs::TimelineSampler`]
+//! (DESIGN.md §5j) and gates the per-window conservation law: the sum
+//! of all timeline windows must reproduce the final registry *exactly*
+//! ([`ulc_obs::check::windows_reconcile`]) — per protocol, including
+//! the crashy `FaultyPlane` leg and a sharded (shards=4) leg whose
+//! folded timeline must equal the serial driver's bit for bit.
 #![cfg(feature = "obs")]
 
+use ulc_core::parallel::simulate_sharded;
 use ulc_core::{UlcConfig, UlcMulti, UlcMultiConfig, UlcSingle};
 use ulc_hierarchy::plane::{FaultScenario, FaultyPlane};
 use ulc_hierarchy::{
@@ -25,6 +33,18 @@ mod common;
 /// event-tally and residency-replay legs of the kit always engage.
 const BIG_RING: usize = 1 << 20;
 
+/// Timeline window length (ticks per window) for the per-window gate.
+/// Deliberately not a divisor of the trace lengths, so the last window
+/// is partial and the sum check covers ragged tails.
+const WINDOW: u64 = 509;
+
+/// Enables a truncation-free timeline sized for `trace` on an
+/// already-enabled handle.
+fn attach_timeline<P: MultiLevelPolicy + Observe>(policy: &mut P, trace: &Trace) {
+    let capacity = (trace.len() as u64 / WINDOW + 1) as usize;
+    policy.obs_mut().enable_timeline(WINDOW, capacity);
+}
+
 fn view(stats: &SimStats) -> check::StatsView<'_> {
     check::StatsView {
         references: stats.references,
@@ -40,6 +60,7 @@ fn view(stats: &SimStats) -> check::StatsView<'_> {
 fn reconciled<P: MultiLevelPolicy + Observe>(name: &str, mut policy: P, trace: &Trace) -> (P, SimStats) {
     let levels = policy.num_levels();
     policy.obs_mut().enable(levels, BIG_RING);
+    attach_timeline(&mut policy, trace);
     let stats = simulate(&mut policy, trace, 0);
     let f = &stats.faults;
     policy.obs_mut().add_plane_faults(
@@ -55,6 +76,11 @@ fn reconciled<P: MultiLevelPolicy + Observe>(name: &str, mut policy: P, trace: &
     if let Err(e) = check::reconcile(rec, &view(&stats)) {
         panic!("{name}: conservation failed: {e}");
     }
+    if let Err(e) = check::windows_reconcile(rec) {
+        panic!("{name}: per-window conservation failed: {e}");
+    }
+    let timeline = rec.timeline().expect("timeline attached");
+    assert!(!timeline.truncated(), "{name}: timeline sized for the whole run");
     (policy, stats)
 }
 
@@ -71,8 +97,29 @@ fn ulc_single_reconciles_and_replays_single_residency() {
     assert_eq!(stats.references, 150_000);
     let rec = policy.obs().recorder().expect("recorder");
     assert_eq!(rec.log().dropped(), 0, "stream must be complete for replay");
-    check::replay_residency(rec.log(), policy.num_levels())
+    let replay = check::replay_residency(rec.log(), policy.num_levels())
         .unwrap_or_else(|e| panic!("ULC/loop-100k: residency replay failed: {e}"));
+    assert_eq!(replay, check::ResidencyReplay::Verified, "complete stream must verify");
+}
+
+#[test]
+fn truncated_ring_reports_replay_skipped_not_failed() {
+    // Same cell, but with a ring two orders of magnitude too small: the
+    // stream wraps and the replay must report the truncation distinctly
+    // instead of flagging the surviving suffix as contradictory.
+    let trace = LoopingPattern::new(100_000).generate(150_000);
+    let mut policy = UlcSingle::new(UlcConfig::new(vec![40_000, 80_000]));
+    let levels = policy.num_levels();
+    policy.obs_mut().enable(levels, 1 << 10);
+    let _ = simulate(&mut policy, &trace, 0);
+    policy.obs_mut().finish();
+    let rec = policy.obs().recorder().expect("recorder");
+    let dropped = rec.log().dropped();
+    assert!(dropped > 0, "the small ring must wrap on this stream");
+    assert_eq!(
+        check::replay_residency(rec.log(), levels),
+        Ok(check::ResidencyReplay::SkippedTruncated { dropped }),
+    );
 }
 
 #[test]
@@ -179,6 +226,7 @@ fn faulty_plane_run_reconciles_and_reports_transport_faults() {
         .with_plane(FaultyPlane::new(common::crashy_mild_scenario()));
     let levels = policy.num_levels();
     policy.obs_mut().enable(levels, BIG_RING);
+    attach_timeline(&mut policy, &trace);
     let stats = simulate(&mut policy, &trace, 0);
     let accounting = policy.plane().accounting();
     {
@@ -189,6 +237,8 @@ fn faulty_plane_run_reconciles_and_reports_transport_faults() {
     let rec = policy.obs().recorder().expect("recorder");
     check::reconcile(rec, &view(&stats))
         .unwrap_or_else(|e| panic!("ULC/faulty/httpd: conservation failed: {e}"));
+    check::windows_reconcile(rec)
+        .unwrap_or_else(|e| panic!("ULC/faulty/httpd: per-window conservation failed: {e}"));
     assert!(
         rec.metrics().counter(ulc_obs::CounterId::PlaneFaults) > 0,
         "the mild+crash scenario must surface transport faults"
@@ -211,4 +261,36 @@ fn faulty_plane_run_reconciles_and_reports_transport_faults() {
     obs.finish();
     let rec = clean.obs().recorder().expect("recorder");
     assert_eq!(rec.metrics().counter(ulc_obs::CounterId::PlaneFaults), 0);
+}
+
+#[test]
+fn sharded_replay_timeline_folds_bit_identical_to_serial() {
+    // The shards=4 leg of the per-window gate: the sharded executor
+    // stamps every consumed access with its global trace position, so
+    // folding the per-shard timelines must reproduce the serial
+    // driver's timeline *bit for bit* — same windows, same counters,
+    // same histograms — and both must satisfy window conservation.
+    let trace = ulc_trace::synthetic::httpd_multi(30_000);
+    let mut serial = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048));
+    let mut sharded = UlcMulti::new(UlcMultiConfig::uniform(7, 256, 2048));
+    for p in [&mut serial, &mut sharded] {
+        let levels = p.num_levels();
+        p.obs_mut().enable(levels, BIG_RING);
+        attach_timeline(p, &trace);
+    }
+    let want = simulate(&mut serial, &trace, 0);
+    let got = simulate_sharded(&mut sharded, &trace, 0, 4);
+    assert_eq!(want, got, "sharded SimStats must match the serial driver");
+    serial.obs_mut().finish();
+    sharded.obs_mut().finish();
+    let s = serial.obs().recorder().expect("recorder");
+    let p = sharded.obs().recorder().expect("recorder");
+    assert_eq!(s.metrics(), p.metrics(), "folded registry must equal serial");
+    assert_eq!(
+        s.timeline().expect("timeline"),
+        p.timeline().expect("timeline"),
+        "folded timeline must equal serial window for window"
+    );
+    check::windows_reconcile(s).expect("serial window conservation");
+    check::windows_reconcile(p).expect("sharded window conservation");
 }

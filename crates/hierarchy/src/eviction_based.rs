@@ -219,7 +219,7 @@ impl<P: MessagePlane> MultiLevelPolicy for EvictionBased<P> {
             return;
         }
         let fate = self.plane.rpc(0);
-        self.obs.on_rpc();
+        self.obs.on_rpc(1);
         match fate {
             RpcFate::RequestLost => {
                 // The server never saw the read.

@@ -135,7 +135,7 @@ impl<P: MessagePlane> MultiLevelPolicy for IndLru<P> {
         self.obs.on_retrieve(0, block.raw());
         for i in 0..self.shared.len() {
             let fate = self.plane.rpc(i);
-            self.obs.on_rpc();
+            self.obs.on_rpc(i + 1);
             match fate {
                 RpcFate::RequestLost => {
                     // The level never saw it.

@@ -512,7 +512,7 @@ impl<P: MessagePlane> MultiLevelPolicy for UniLru<P> {
         // demand read crossing boundary `i`.
         for i in 0..self.shared.len() {
             let fate = self.plane.rpc(i);
-            self.obs.on_rpc();
+            self.obs.on_rpc(i + 1);
             match fate {
                 RpcFate::RequestLost => {
                     // The level never saw it.

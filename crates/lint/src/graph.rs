@@ -35,17 +35,23 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Function names that are per-access roots by convention: the pooled
 /// scratch-engine entry points of every protocol and message plane, the
-/// observability recording path (`RingRecorder::record_event`) whose
-/// steady-state body must stay allocation-free with a recorder attached
-/// (DESIGN.md §5h), and the sharded replay executor's per-epoch inner
-/// loops (`advance_client_run` on the worker side, `commit_epoch` on the
+/// observability recording path (`RingRecorder::record_event`, plus the
+/// time-resolved additions of DESIGN.md §5j — `record_rpc` on every RPC
+/// round, `sample_window` on every timeline mutation, `span_end` on
+/// every span close) whose steady-state bodies must stay
+/// allocation-free with a recorder and timeline attached (DESIGN.md
+/// §5h/§5j), and the sharded replay executor's per-epoch inner loops
+/// (`advance_client_run` on the worker side, `commit_epoch` on the
 /// deterministic commit side — DESIGN.md §5i), which run once per
 /// reference and are held to the same bar.
-pub const ROOT_FN_NAMES: [&str; 6] = [
+pub const ROOT_FN_NAMES: [&str; 9] = [
     "access_into",
     "deliver_into",
     "take_crashes_into",
     "record_event",
+    "record_rpc",
+    "sample_window",
+    "span_end",
     "advance_client_run",
     "commit_epoch",
 ];

@@ -204,3 +204,65 @@ fn executor_epoch_loops_are_roots_by_name() {
         via_helper.message
     );
 }
+
+/// The time-resolved recording path (DESIGN.md §5j) is rooted by name:
+/// `record_rpc`, `sample_window` and `span_end` are per-access hot
+/// roots, so an allocation injected into any of them — directly or via
+/// a helper a module away — is caught with a call-chain trace.
+#[test]
+fn timeline_recording_fns_are_roots_by_name() {
+    let files = vec![
+        unit(
+            "crates/a/src/recorder.rs",
+            "/// RPC round tally.\n\
+             pub fn record_rpc(to_level: u32) -> u32 {\n\
+             \x20   let tag = to_level.to_string();\n\
+             \x20   tag.len() as u32\n\
+             }\n\
+             /// Span close: flushes batched histograms.\n\
+             pub fn span_end(c: u32) -> u32 {\n\
+             \x20   flush(c)\n\
+             }\n",
+        ),
+        unit(
+            "crates/a/src/timeline.rs",
+            "/// Current-window accessor.\n\
+             pub fn sample_window(w: u32) -> u32 {\n\
+             \x20   let v = vec![w];\n\
+             \x20   v[0]\n\
+             }\n",
+        ),
+        unit(
+            "crates/b/src/scratch.rs",
+            "/// Helper one module away that allocates.\n\
+             pub fn flush(c: u32) -> u32 {\n\
+             \x20   let v = vec![c, c];\n\
+             \x20   v[1]\n\
+             }\n",
+        ),
+    ];
+    let diags = lint_files(&files);
+    let alloc = by_rule(&diags, RULE_HOT_PATH_ALLOC);
+    assert_eq!(alloc.len(), 3, "{diags:#?}");
+    let direct_rpc = alloc
+        .iter()
+        .find(|d| d.file == "crates/a/src/recorder.rs")
+        .expect("direct to_string under record_rpc flagged");
+    assert!(direct_rpc.message.contains("record_rpc"), "{}", direct_rpc.message);
+    let direct_window = alloc
+        .iter()
+        .find(|d| d.file == "crates/a/src/timeline.rs")
+        .expect("direct vec! under sample_window flagged");
+    assert!(direct_window.message.contains("sample_window"), "{}", direct_window.message);
+    let via_helper = alloc
+        .iter()
+        .find(|d| d.file == "crates/b/src/scratch.rs")
+        .expect("helper alloc under span_end flagged");
+    assert!(
+        via_helper
+            .message
+            .contains("span_end (crates/a/src/recorder.rs:7)"),
+        "{}",
+        via_helper.message
+    );
+}

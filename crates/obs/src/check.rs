@@ -121,6 +121,22 @@ pub fn reconcile(rec: &RingRecorder, stats: &StatsView<'_>) -> Result<(), String
     Ok(())
 }
 
+/// Outcome of a successful [`replay_residency`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResidencyReplay {
+    /// The complete event stream replayed to a consistent
+    /// single-residency placement.
+    Verified,
+    /// The ring wrapped, so the stream is incomplete and the replay was
+    /// skipped — not a contradiction, just an unverifiable log. Size
+    /// the ring to the run (or check `RingLog::dropped` up front) to
+    /// get `Verified`.
+    SkippedTruncated {
+        /// Events the ring overwrote.
+        dropped: u64,
+    },
+}
+
 /// Replays an event log and checks that every event is consistent with a
 /// single-residency placement derived from the events alone: hits find
 /// the block where the last retrieve/demote left it, demotes move a
@@ -128,17 +144,16 @@ pub fn reconcile(rec: &RingRecorder, stats: &StatsView<'_>) -> Result<(), String
 /// retrieves remove resident blocks.
 ///
 /// Requires the complete stream: recording must have started with the
-/// first reference and the ring must not have wrapped. Suited to
-/// exclusive single-client protocols (the default-config `UlcSingle`),
-/// where residency transitions are fully event-visible.
+/// first reference. A wrapped ring is reported as
+/// [`ResidencyReplay::SkippedTruncated`] rather than an error — the log
+/// is merely unverifiable, not contradictory. Suited to exclusive
+/// single-client protocols (the default-config `UlcSingle`), where
+/// residency transitions are fully event-visible.
 ///
 /// Returns the first contradiction as a human-readable message.
-pub fn replay_residency(log: &RingLog, levels: usize) -> Result<(), String> {
+pub fn replay_residency(log: &RingLog, levels: usize) -> Result<ResidencyReplay, String> {
     if log.dropped() > 0 {
-        return Err(format!(
-            "ring dropped {} events; residency replay needs the complete stream",
-            log.dropped()
-        ));
+        return Ok(ResidencyReplay::SkippedTruncated { dropped: log.dropped() });
     }
     let mut home: BTreeMap<u64, usize> = BTreeMap::new();
     for (i, ev) in log.iter().enumerate() {
@@ -190,6 +205,45 @@ pub fn replay_residency(log: &RingLog, levels: usize) -> Result<(), String> {
             EventKind::Reconcile | EventKind::Fault => {}
         }
     }
+    Ok(ResidencyReplay::Verified)
+}
+
+/// Checks the per-window conservation law of an attached timeline: the
+/// sum of every window registry must reproduce the recorder's whole-run
+/// [`crate::MetricsRegistry`] *exactly* — counters, per-level rows and
+/// histograms. Call after `finish` so batched histograms have flushed.
+///
+/// Returns the first discrepancy (or a missing timeline) as a
+/// human-readable message.
+pub fn windows_reconcile(rec: &RingRecorder) -> Result<(), String> {
+    let Some(timeline) = rec.timeline() else {
+        return Err("no timeline attached; call enable_timeline before the run".to_string());
+    };
+    let sum = timeline.summed();
+    let m = rec.metrics();
+    for id in CounterId::ALL {
+        expect_eq(&format!("window sum of counter {}", id.name()), sum.counter(id), m.counter(id))?;
+    }
+    for l in 0..m.levels() {
+        let (got, want) = (sum.level(l), m.level(l));
+        if got != want {
+            return Err(format!(
+                "window sum of level {l} row {got:?} != whole-run row {want:?}"
+            ));
+        }
+    }
+    for id in crate::metrics::HistId::ALL {
+        if sum.hist(id) != m.hist(id) {
+            return Err(format!(
+                "window sum of histogram {} (count {}, total {}) != whole-run (count {}, total {})",
+                id.name(),
+                sum.hist(id).count(),
+                sum.hist(id).total(),
+                m.hist(id).count(),
+                m.hist(id).total()
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -213,7 +267,7 @@ mod tests {
         push(&mut log, 2, EventKind::Retrieve, 1, 7);
         push(&mut log, 3, EventKind::Hit, 1, 7);
         push(&mut log, 3, EventKind::Evict, 1, 7);
-        assert_eq!(replay_residency(&log, 2), Ok(()));
+        assert_eq!(replay_residency(&log, 2), Ok(ResidencyReplay::Verified));
     }
 
     #[test]
@@ -226,12 +280,39 @@ mod tests {
     }
 
     #[test]
-    fn replay_rejects_a_wrapped_ring() {
+    fn replay_reports_a_wrapped_ring_as_skipped_not_failed() {
         let mut log = RingLog::new(2);
+        // Three inconsistent hits on a 2-slot ring: one is overwritten,
+        // so the stream is incomplete. The replay must *not* run (the
+        // surviving events would be flagged as contradictions) and must
+        // instead report the truncation distinctly.
         for t in 0..3 {
-            push(&mut log, t, EventKind::Reconcile, 0, 0);
+            push(&mut log, t, EventKind::Hit, 0, t);
         }
-        assert!(replay_residency(&log, 2).unwrap_err().contains("dropped"));
+        assert_eq!(
+            replay_residency(&log, 2),
+            Ok(ResidencyReplay::SkippedTruncated { dropped: 1 })
+        );
+    }
+
+    #[test]
+    fn windows_reconcile_requires_a_timeline() {
+        let rec = RingRecorder::new(2, 8);
+        assert!(windows_reconcile(&rec).unwrap_err().contains("no timeline"));
+    }
+
+    #[test]
+    fn windows_reconcile_accepts_an_exact_timeline() {
+        let mut rec = RingRecorder::new(2, 64);
+        rec.enable_timeline(2, 8);
+        for i in 0..5u64 {
+            rec.begin_access();
+            rec.record_event(EventKind::Miss, 2, i);
+            rec.record_event(EventKind::Retrieve, 0, i);
+            rec.record_rpc(1);
+        }
+        rec.finish();
+        assert_eq!(windows_reconcile(&rec), Ok(()));
     }
 
     #[test]

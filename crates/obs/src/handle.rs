@@ -140,11 +140,11 @@ impl ObsHandle {
         }
     }
 
-    /// One synchronous RPC round-trip was issued.
+    /// One synchronous RPC round-trip was issued, reaching `to_level`.
     #[inline]
-    pub fn on_rpc(&mut self) {
+    pub fn on_rpc(&mut self, to_level: usize) {
         if let Some(r) = self.rec.as_deref_mut() {
-            r.record_rpc();
+            r.record_rpc(to_level);
         }
     }
 
@@ -156,11 +156,30 @@ impl ObsHandle {
         }
     }
 
+    /// Re-stamps the recorder's tick with the access's global trace
+    /// position (1-based); the sharded executor calls this before
+    /// `begin_access` so windowed timelines align with the serial run.
+    #[inline]
+    pub fn set_tick(&mut self, tick: u64) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.set_tick(tick);
+        }
+    }
+
+    /// Attaches a pre-allocated windowed [`crate::TimelineSampler`]
+    /// (`capacity` windows of `window_len` ticks) to the recorder.
+    /// Requires [`ObsHandle::enable`] first; call before the run.
+    pub fn enable_timeline(&mut self, window_len: u64, capacity: usize) {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.enable_timeline(window_len, capacity);
+        }
+    }
+
     /// Folds transport fault totals from a message plane's accounting
-    /// into the `PlaneFaults` counter.
+    /// into the `PlaneFaults` counter (and the current timeline window).
     pub fn add_plane_faults(&mut self, n: u64) {
         if let Some(r) = self.rec.as_deref_mut() {
-            r.metrics.add(CounterId::PlaneFaults, n);
+            r.add_counter(CounterId::PlaneFaults, n);
         }
     }
 
@@ -237,11 +256,19 @@ impl ObsHandle {
 
     /// No-op without the `enabled` feature.
     #[inline(always)]
-    pub fn on_rpc(&mut self) {}
+    pub fn on_rpc(&mut self, _to_level: usize) {}
 
     /// No-op without the `enabled` feature.
     #[inline(always)]
     pub fn observe_hist(&mut self, _id: HistId, _value: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn set_tick(&mut self, _tick: u64) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn enable_timeline(&mut self, _window_len: u64, _capacity: usize) {}
 
     /// No-op without the `enabled` feature.
     #[inline(always)]
@@ -276,7 +303,9 @@ mod tests {
         h.on_evict(1, 4);
         h.on_reconcile(0);
         h.on_fault(1, 5);
-        h.on_rpc();
+        h.on_rpc(1);
+        h.set_tick(3);
+        h.enable_timeline(4, 4);
         h.observe_hist(HistId::LldR, 7);
         h.add_plane_faults(2);
         h.finish();

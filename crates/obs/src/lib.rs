@@ -15,14 +15,23 @@
 //!   nothing) and the live [`RingRecorder`].
 //! * [`handle`] — the feature-switched [`ObsHandle`] and the [`Observe`]
 //!   trait generic drivers use to reach it.
+//! * [`timeline`] — the fixed-capacity windowed [`TimelineSampler`]:
+//!   one full registry per `window_len`-tick window, window sums exact
+//!   by construction, merged shard-by-shard with an alignment-preserving
+//!   [`TimelineSampler::merge`] (DESIGN.md §5j).
+//! * [`span`] — per-access causal spans and the integer
+//!   [`SpanCostModel`] that turns each span's RPC rounds, demotions and
+//!   misses into the [`HistId::SpanCost`] histogram.
 //! * [`check`] — the conservation test kit: [`check::reconcile`] proves
-//!   the event stream agrees exactly with the driver's `SimStats`, and
-//!   [`check::replay_residency`] re-derives single-residency placement
-//!   from the event log alone.
+//!   the event stream agrees exactly with the driver's `SimStats`,
+//!   [`check::windows_reconcile`] proves timeline window sums reproduce
+//!   the whole-run registry, and [`check::replay_residency`] re-derives
+//!   single-residency placement from the event log alone.
 //!
 //! Everything is allocation-free after construction; the workspace lint
-//! walks the recording path (`record_event` is a hot root) to keep it
-//! that way. See DESIGN.md §5h.
+//! walks the recording path (`record_event`, `record_rpc`,
+//! `sample_window`, `span_end` are hot roots) to keep it that way. See
+//! DESIGN.md §5h and §5j.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -33,12 +42,16 @@ pub mod handle;
 pub mod metrics;
 pub mod recorder;
 pub mod ring;
+pub mod span;
+pub mod timeline;
 
 pub use event::{Event, EventKind};
 pub use handle::{Observe, ObsHandle};
 pub use metrics::{CounterId, HistId, LevelCounters, MetricsRegistry, Pow2Histogram, POW2_BUCKETS};
 pub use recorder::{NoopRecorder, Recorder, RingRecorder};
 pub use ring::RingLog;
+pub use span::{SpanCostModel, MAX_SPAN_LEVELS};
+pub use timeline::TimelineSampler;
 
 /// Whether this build compiled the live recording path (`enabled`
 /// feature). Downstream harnesses use this to decide whether an `obs`

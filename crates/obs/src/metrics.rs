@@ -86,11 +86,16 @@ pub enum HistId {
     DemoteBatch,
     /// RPC round-trips per access (only accesses that issued RPCs).
     RpcRounds,
+    /// Modeled cost of one access span — RPC rounds, demotions and
+    /// misses weighted by the level they reach
+    /// ([`crate::SpanCostModel`]); only accesses with nonzero cost.
+    SpanCost,
 }
 
 impl HistId {
     /// Every histogram, in declaration order.
-    pub const ALL: [HistId; 3] = [HistId::LldR, HistId::DemoteBatch, HistId::RpcRounds];
+    pub const ALL: [HistId; 4] =
+        [HistId::LldR, HistId::DemoteBatch, HistId::RpcRounds, HistId::SpanCost];
 
     /// Stable snake_case name for exports.
     pub fn name(self) -> &'static str {
@@ -98,6 +103,7 @@ impl HistId {
             HistId::LldR => "lld_r",
             HistId::DemoteBatch => "demote_batch",
             HistId::RpcRounds => "rpc_rounds",
+            HistId::SpanCost => "span_cost",
         }
     }
 }
@@ -229,7 +235,12 @@ impl MetricsRegistry {
         MetricsRegistry {
             counters: [0; CounterId::ALL.len()],
             per_level: vec![LevelCounters::default(); levels],
-            hists: [Pow2Histogram::new(), Pow2Histogram::new(), Pow2Histogram::new()],
+            hists: [
+                Pow2Histogram::new(),
+                Pow2Histogram::new(),
+                Pow2Histogram::new(),
+                Pow2Histogram::new(),
+            ],
         }
     }
 

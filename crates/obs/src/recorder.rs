@@ -3,28 +3,41 @@
 //! [`NoopRecorder`] has empty bodies (the trait's defaults) that the
 //! optimizer erases entirely; [`RingRecorder`] is the live sink the
 //! `enabled` feature attaches behind [`crate::ObsHandle`]: one
-//! [`RingLog`] for the event stream plus one [`MetricsRegistry`] for
-//! exact whole-run tallies. Construction allocates once; recording
-//! never does — the lint `hot-path-alloc` rule walks `record_event` as
-//! a root to keep it that way.
+//! [`RingLog`] for the event stream, one [`MetricsRegistry`] for exact
+//! whole-run tallies, and optionally one [`TimelineSampler`] mirroring
+//! every tally into the window of the current tick (DESIGN.md §5j).
+//! Construction allocates once; recording never does — the lint
+//! `hot-path-alloc` rule walks `record_event`, `record_rpc`,
+//! `sample_window` and `span_end` as roots to keep it that way.
+//!
+//! Each access is one causal *span* (see [`crate::span`]): RPC rounds,
+//! demotion batches and the modeled span cost batch up inside the open
+//! access and flush into the histograms — attributed to the window the
+//! access started in — when the span closes at the next `begin_access`
+//! or at `finish`.
 
 use crate::event::{Event, EventKind};
 use crate::metrics::{CounterId, HistId, MetricsRegistry};
 use crate::ring::RingLog;
+use crate::span::SpanCostModel;
+use crate::timeline::TimelineSampler;
 
 /// Sink for instrumentation events. All methods default to no-ops so a
 /// disabled recorder compiles to nothing.
 pub trait Recorder {
-    /// Marks the start of one reference; batching state (RPC and
-    /// demotion counts of the previous access) is flushed here.
+    /// Marks the start of one reference; the previous access's span is
+    /// closed here ([`Recorder::span_end`]).
     fn begin_access(&mut self) {}
     /// Records one structured event (see [`EventKind`] for the `level`
     /// convention of each kind).
     fn record_event(&mut self, kind: EventKind, level: usize, block: u64) {
         let _ = (kind, level, block);
     }
-    /// Counts one synchronous RPC round-trip within the current access.
-    fn record_rpc(&mut self) {}
+    /// Counts one synchronous RPC round-trip within the current access,
+    /// addressed to `to_level` (the level the round-trip reaches).
+    fn record_rpc(&mut self, to_level: usize) {
+        let _ = to_level;
+    }
     /// Counts a demotion absorbed by a demotion buffer at `boundary`.
     fn record_buffered(&mut self, boundary: usize) {
         let _ = boundary;
@@ -33,6 +46,17 @@ pub trait Recorder {
     fn observe_hist(&mut self, id: HistId, value: u64) {
         let _ = (id, value);
     }
+    /// Re-stamps the current tick (1-based global access position).
+    /// Drivers that replay accesses out of arrival order — the sharded
+    /// executor — call this before `begin_access` so windowed timelines
+    /// stay aligned with the serial tick axis.
+    fn set_tick(&mut self, tick: u64) {
+        let _ = tick;
+    }
+    /// Closes the current access's span: flushes the batched RPC-round,
+    /// demote-batch and span-cost tallies into their histograms,
+    /// attributed to the window the span began in. Idempotent.
+    fn span_end(&mut self) {}
     /// Flushes any batching state at end of run.
     fn finish(&mut self) {}
 }
@@ -43,27 +67,84 @@ pub struct NoopRecorder;
 
 impl Recorder for NoopRecorder {}
 
-/// Live recorder: ring-buffer event log + metrics registry.
+/// Applies one event's tallies to a registry — shared between the
+/// whole-run registry and the current timeline window so their contents
+/// can never drift apart.
+#[inline]
+fn tally_event(m: &mut MetricsRegistry, kind: EventKind, level: usize) {
+    match kind {
+        EventKind::Hit => {
+            m.inc(CounterId::Hits);
+            if let Some(row) = m.level_mut(level) {
+                row.hits += 1;
+            }
+        }
+        EventKind::Miss => m.inc(CounterId::Misses),
+        EventKind::Retrieve => {
+            m.inc(CounterId::Retrieves);
+            if let Some(row) = m.level_mut(level) {
+                row.retrieves += 1;
+            }
+        }
+        EventKind::Demote => {
+            m.inc(CounterId::Demotions);
+            if let Some(row) = m.level_mut(level) {
+                row.demotions += 1;
+            }
+        }
+        EventKind::Evict => {
+            m.inc(CounterId::Evictions);
+            if let Some(row) = m.level_mut(level) {
+                row.evictions += 1;
+            }
+        }
+        EventKind::Reconcile => m.inc(CounterId::Reconciles),
+        EventKind::Fault => m.inc(CounterId::Faults),
+    }
+}
+
+/// Live recorder: ring-buffer event log + metrics registry + optional
+/// windowed timeline.
 #[derive(Clone, Debug)]
 pub struct RingRecorder {
     pub(crate) log: RingLog,
     pub(crate) metrics: MetricsRegistry,
+    timeline: Option<Box<TimelineSampler>>,
+    cost_model: SpanCostModel,
     tick: u64,
     pending_rpcs: u64,
     pending_demotes: u64,
+    pending_span_cost: u64,
+    /// Window the open span began in — batched histograms flush here
+    /// even if `set_tick` already moved the cursor to a later window.
+    pending_window: usize,
 }
 
 impl RingRecorder {
     /// Creates a recorder for a `levels`-deep hierarchy with an event
-    /// ring of `capacity` slots. This is the only allocating call.
+    /// ring of `capacity` slots. This is the only allocating call
+    /// (until [`RingRecorder::enable_timeline`], which allocates once
+    /// more).
     pub fn new(levels: usize, capacity: usize) -> Self {
         RingRecorder {
             log: RingLog::new(capacity),
             metrics: MetricsRegistry::new(levels),
+            timeline: None,
+            cost_model: SpanCostModel::default(),
             tick: 0,
             pending_rpcs: 0,
             pending_demotes: 0,
+            pending_span_cost: 0,
+            pending_window: 0,
         }
+    }
+
+    /// Attaches a pre-allocated windowed timeline (`capacity` windows
+    /// of `window_len` ticks). Call before the run starts, or window
+    /// sums will miss the events recorded earlier.
+    pub fn enable_timeline(&mut self, window_len: u64, capacity: usize) {
+        self.timeline =
+            Some(Box::new(TimelineSampler::new(self.metrics.levels(), window_len, capacity)));
     }
 
     /// The event log.
@@ -76,27 +157,86 @@ impl RingRecorder {
         &self.metrics
     }
 
-    /// Mutable access to the metrics registry, for folding per-shard
-    /// registries into a session-level one
-    /// ([`MetricsRegistry::merge`]) after a sharded replay.
+    /// Mutable access to the metrics registry, for feeding externally
+    /// computed tallies (e.g. trace LLD-R) into a recorder that has no
+    /// timeline attached.
     pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
         &mut self.metrics
     }
 
-    /// Accesses recorded so far.
+    /// The attached timeline, if any.
+    pub fn timeline(&self) -> Option<&TimelineSampler> {
+        self.timeline.as_deref()
+    }
+
+    /// Mutable access to the attached timeline, if any.
+    pub fn timeline_mut(&mut self) -> Option<&mut TimelineSampler> {
+        self.timeline.as_deref_mut()
+    }
+
+    /// The span cost model in effect.
+    pub fn cost_model(&self) -> SpanCostModel {
+        self.cost_model
+    }
+
+    /// Replaces the span cost model. Call before the run starts so
+    /// every span is costed consistently.
+    pub fn set_cost_model(&mut self, model: SpanCostModel) {
+        self.cost_model = model;
+    }
+
+    /// Current tick: the 1-based position of the last access begun
+    /// (re-stamped by [`Recorder::set_tick`] under sharded replay).
     pub fn ticks(&self) -> u64 {
         self.tick
     }
 
-    #[inline]
-    fn flush_pending(&mut self) {
-        if self.pending_rpcs > 0 {
-            self.metrics.observe(HistId::RpcRounds, self.pending_rpcs);
-            self.pending_rpcs = 0;
+    /// Adds `n` to a counter in the whole-run registry and, when a
+    /// timeline is attached, in the current window — used for tallies
+    /// that arrive from outside the event stream (plane fault
+    /// accounting).
+    pub fn add_counter(&mut self, id: CounterId, n: u64) {
+        self.metrics.add(id, n);
+        if let Some(t) = self.timeline.as_deref_mut() {
+            t.sample_window().add(id, n);
         }
-        if self.pending_demotes > 0 {
-            self.metrics.observe(HistId::DemoteBatch, self.pending_demotes);
-            self.pending_demotes = 0;
+    }
+
+    /// Folds another recorder's tallies into this one: registry merge
+    /// plus window-aligned timeline merge. This is the sharded-replay
+    /// fold — with the executor's global tick stamping it reproduces
+    /// the serial recorder's registry and timeline bit-identically.
+    ///
+    /// # Panics
+    /// Panics if exactly one side has a timeline attached, or if the
+    /// timelines/registries have mismatched geometry.
+    pub fn absorb(&mut self, other: &RingRecorder) {
+        self.metrics.merge(&other.metrics);
+        assert_eq!(
+            self.timeline.is_some(),
+            other.timeline.is_some(),
+            "cannot fold recorders with mismatched timeline attachment"
+        );
+        if let (Some(mine), Some(theirs)) = (self.timeline.as_deref_mut(), other.timeline.as_deref())
+        {
+            mine.merge(theirs);
+        }
+        // The other ring's events are not spliced into this stream (a
+        // shard ring is a sampling window, not a log segment); charge
+        // them as dropped so the event-kind tally knows the stream is
+        // incomplete rather than silently short.
+        self.log
+            .charge_dropped(other.log.len() as u64 + other.log.dropped());
+        if other.tick > self.tick {
+            self.tick = other.tick;
+        }
+    }
+
+    #[inline]
+    fn observe_pending(&mut self, id: HistId, value: u64) {
+        self.metrics.observe(id, value);
+        if let Some(t) = self.timeline.as_deref_mut() {
+            t.window_at_mut(self.pending_window).observe(id, value);
         }
     }
 }
@@ -104,50 +244,46 @@ impl RingRecorder {
 impl Recorder for RingRecorder {
     #[inline]
     fn begin_access(&mut self) {
-        self.flush_pending();
+        self.span_end();
         self.tick += 1;
         self.metrics.inc(CounterId::Accesses);
+        if let Some(t) = self.timeline.as_deref_mut() {
+            t.set_tick(self.tick);
+            self.pending_window = t.current_window();
+            t.sample_window().inc(CounterId::Accesses);
+        }
     }
 
     #[inline]
     fn record_event(&mut self, kind: EventKind, level: usize, block: u64) {
         self.log.push(Event { tick: self.tick, block, level: level as u16, kind });
+        tally_event(&mut self.metrics, kind, level);
+        if let Some(t) = self.timeline.as_deref_mut() {
+            tally_event(t.sample_window(), kind, level);
+        }
         match kind {
-            EventKind::Hit => {
-                self.metrics.inc(CounterId::Hits);
-                if let Some(row) = self.metrics.level_mut(level) {
-                    row.hits += 1;
-                }
-            }
-            EventKind::Miss => self.metrics.inc(CounterId::Misses),
-            EventKind::Retrieve => {
-                self.metrics.inc(CounterId::Retrieves);
-                if let Some(row) = self.metrics.level_mut(level) {
-                    row.retrieves += 1;
-                }
-            }
+            // A demotion across boundary `level` enters level + 1.
             EventKind::Demote => {
-                self.metrics.inc(CounterId::Demotions);
                 self.pending_demotes += 1;
-                if let Some(row) = self.metrics.level_mut(level) {
-                    row.demotions += 1;
-                }
+                self.pending_span_cost += self.cost_model.weight(level + 1);
             }
-            EventKind::Evict => {
-                self.metrics.inc(CounterId::Evictions);
-                if let Some(row) = self.metrics.level_mut(level) {
-                    row.evictions += 1;
-                }
-            }
-            EventKind::Reconcile => self.metrics.inc(CounterId::Reconciles),
-            EventKind::Fault => self.metrics.inc(CounterId::Faults),
+            // A miss carries the `L_out` sentinel (`num_levels`) as its
+            // level: the span pays for the out-of-hierarchy fetch.
+            EventKind::Miss => self.pending_span_cost += self.cost_model.weight(level),
+            // Recovery reconciliation walks the L1/L2 boundary.
+            EventKind::Reconcile => self.pending_span_cost += self.cost_model.weight(1),
+            _ => {}
         }
     }
 
     #[inline]
-    fn record_rpc(&mut self) {
+    fn record_rpc(&mut self, to_level: usize) {
         self.metrics.inc(CounterId::Rpcs);
+        if let Some(t) = self.timeline.as_deref_mut() {
+            t.sample_window().inc(CounterId::Rpcs);
+        }
         self.pending_rpcs += 1;
+        self.pending_span_cost += self.cost_model.weight(to_level);
     }
 
     #[inline]
@@ -156,16 +292,53 @@ impl Recorder for RingRecorder {
         if let Some(row) = self.metrics.level_mut(boundary) {
             row.buffered += 1;
         }
+        if let Some(t) = self.timeline.as_deref_mut() {
+            let w = t.sample_window();
+            w.inc(CounterId::DemotionsBuffered);
+            if let Some(row) = w.level_mut(boundary) {
+                row.buffered += 1;
+            }
+        }
     }
 
     #[inline]
     fn observe_hist(&mut self, id: HistId, value: u64) {
         self.metrics.observe(id, value);
+        if let Some(t) = self.timeline.as_deref_mut() {
+            t.sample_window().observe(id, value);
+        }
+    }
+
+    #[inline]
+    fn set_tick(&mut self, tick: u64) {
+        self.tick = tick;
+        if let Some(t) = self.timeline.as_deref_mut() {
+            t.set_tick(tick);
+        }
+    }
+
+    #[inline]
+    fn span_end(&mut self) {
+        if self.pending_rpcs > 0 {
+            let n = self.pending_rpcs;
+            self.pending_rpcs = 0;
+            self.observe_pending(HistId::RpcRounds, n);
+        }
+        if self.pending_demotes > 0 {
+            let n = self.pending_demotes;
+            self.pending_demotes = 0;
+            self.observe_pending(HistId::DemoteBatch, n);
+        }
+        if self.pending_span_cost > 0 {
+            let c = self.pending_span_cost;
+            self.pending_span_cost = 0;
+            self.observe_pending(HistId::SpanCost, c);
+        }
     }
 
     #[inline]
     fn finish(&mut self) {
-        self.flush_pending();
+        self.span_end();
     }
 }
 
@@ -178,9 +351,11 @@ mod tests {
         let mut r = NoopRecorder;
         r.begin_access();
         r.record_event(EventKind::Hit, 0, 1);
-        r.record_rpc();
+        r.record_rpc(1);
         r.record_buffered(0);
         r.observe_hist(HistId::LldR, 9);
+        r.set_tick(5);
+        r.span_end();
         r.finish();
     }
 
@@ -188,8 +363,8 @@ mod tests {
     fn batches_flush_on_next_access_and_finish() {
         let mut r = RingRecorder::new(2, 16);
         r.begin_access();
-        r.record_rpc();
-        r.record_rpc();
+        r.record_rpc(1);
+        r.record_rpc(1);
         r.record_event(EventKind::Demote, 0, 7);
         // Nothing flushed yet: the access is still open.
         assert_eq!(r.metrics().hist(HistId::RpcRounds).count(), 0);
@@ -220,5 +395,88 @@ mod tests {
         assert_eq!(r.metrics().level(1).evictions, 1);
         assert_eq!(r.metrics().level(0).buffered, 1);
         assert_eq!(r.log().len(), 4);
+    }
+
+    #[test]
+    fn span_cost_weights_rpcs_demotes_misses_and_reconciles() {
+        let mut r = RingRecorder::new(2, 16);
+        // Access 1: miss (L_out sentinel 2 → weight 4), one RPC to L2
+        // (weight 2), one demotion across boundary 0 (enters L1+1=L2 at
+        // weight 2), one reconcile round (weight 2). Total 10.
+        r.begin_access();
+        r.record_event(EventKind::Miss, 2, 4);
+        r.record_rpc(1);
+        r.record_event(EventKind::Demote, 0, 7);
+        r.record_event(EventKind::Reconcile, 0, 0);
+        r.finish();
+        let h = r.metrics().hist(HistId::SpanCost);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.total(), 4 + 2 + 2 + 2);
+        // A pure hit access costs nothing and records no span sample.
+        r.begin_access();
+        r.record_event(EventKind::Hit, 0, 4);
+        r.finish();
+        assert_eq!(r.metrics().hist(HistId::SpanCost).count(), 1);
+    }
+
+    #[test]
+    fn timeline_mirrors_every_tally_and_sums_exactly() {
+        let mut r = RingRecorder::new(2, 64);
+        r.enable_timeline(2, 4);
+        for i in 0..6u64 {
+            r.begin_access();
+            if i % 2 == 0 {
+                r.record_event(EventKind::Hit, 0, i);
+            } else {
+                r.record_event(EventKind::Miss, 2, i);
+                r.record_rpc(1);
+                r.record_event(EventKind::Retrieve, 0, i);
+            }
+        }
+        r.finish();
+        let t = r.timeline().expect("timeline attached");
+        assert_eq!(t.num_windows(), 3);
+        assert_eq!(t.summed(), *r.metrics());
+        // Each window saw one hit and one miss.
+        for w in t.windows() {
+            assert_eq!(w.counter(CounterId::Hits), 1);
+            assert_eq!(w.counter(CounterId::Misses), 1);
+        }
+    }
+
+    #[test]
+    fn batched_hists_flush_into_the_window_that_generated_them() {
+        let mut r = RingRecorder::new(2, 64);
+        r.enable_timeline(1, 2);
+        r.begin_access(); // tick 1 → window 0
+        r.record_rpc(1);
+        r.begin_access(); // tick 2 → window 1; flushes access 1's batch
+        r.finish();
+        let t = r.timeline().expect("timeline attached");
+        assert_eq!(t.window(0).hist(HistId::RpcRounds).count(), 1);
+        assert_eq!(t.window(1).hist(HistId::RpcRounds).count(), 0);
+        assert_eq!(t.summed(), *r.metrics());
+    }
+
+    #[test]
+    fn absorb_folds_registry_and_timeline() {
+        let mut a = RingRecorder::new(2, 16);
+        a.enable_timeline(2, 4);
+        let mut b = RingRecorder::new(2, 16);
+        b.enable_timeline(2, 4);
+        a.set_tick(0);
+        a.begin_access();
+        a.record_event(EventKind::Hit, 0, 1);
+        b.set_tick(3);
+        b.begin_access();
+        b.record_event(EventKind::Miss, 2, 9);
+        a.finish();
+        b.finish();
+        a.absorb(&b);
+        assert_eq!(a.metrics().counter(CounterId::Accesses), 2);
+        let t = a.timeline().expect("timeline attached");
+        assert_eq!(t.window(0).counter(CounterId::Hits), 1);
+        assert_eq!(t.window(1).counter(CounterId::Misses), 1);
+        assert_eq!(t.summed(), *a.metrics());
     }
 }

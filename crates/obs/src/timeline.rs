@@ -1,0 +1,260 @@
+//! Fixed-capacity windowed metric timelines (DESIGN.md §5j).
+//!
+//! A [`TimelineSampler`] slices the run into consecutive windows of
+//! `window_len` ticks and keeps one full [`MetricsRegistry`] per
+//! window. Recording writes into the window the current tick falls in
+//! (window `w` covers ticks `w * window_len + 1 ..= (w + 1) *
+//! window_len`), so the sum of all windows reproduces the whole-run
+//! registry *exactly* — the per-window conservation gate in
+//! `crates/core/tests/obs_conservation.rs` holds by construction, not
+//! by sampling luck.
+//!
+//! All storage is allocated up front by [`TimelineSampler::new`]; the
+//! steady-state path ([`TimelineSampler::set_tick`],
+//! [`TimelineSampler::sample_window`]) is index arithmetic only. Runs
+//! longer than `window_len * capacity` clamp into the last window
+//! (flagged by [`TimelineSampler::truncated`]) rather than allocating,
+//! so conservation still holds on overflow.
+//!
+//! # Window alignment and merging
+//!
+//! [`TimelineSampler::merge`] adds another sampler window-by-window at
+//! the *same* window index — it is an alignment-preserving fold, not a
+//! concatenation. Because the sharded replay executor stamps every
+//! recorder with the access's global trace position
+//! (`ObsHandle::set_tick`) before `begin_access`, a per-shard timeline
+//! attributes each access to the same window the serial driver would,
+//! and folding the shards (in any order: merge is associative and
+//! commutative, proven by proptest in `tests/hist_props.rs`) is
+//! bit-identical to the serial timeline. Merging requires identical
+//! `window_len`, capacity and hierarchy depth.
+
+use crate::metrics::MetricsRegistry;
+
+/// Pre-allocated per-window metric snapshots over the run's tick axis.
+#[derive(Clone, Debug)]
+pub struct TimelineSampler {
+    window_len: u64,
+    windows: Vec<MetricsRegistry>,
+    /// Number of leading windows any tick has landed in so far.
+    touched: usize,
+    /// Index of the window the current tick falls in.
+    cur: usize,
+    /// Highest tick ever stamped; `> window_len * capacity` means the
+    /// tail of the run was clamped into the last window.
+    max_tick: u64,
+}
+
+impl TimelineSampler {
+    /// A sampler for a `levels`-deep hierarchy with `capacity` windows
+    /// of `window_len` ticks each. This is the only allocating call.
+    ///
+    /// # Panics
+    /// Panics if `window_len` or `capacity` is zero.
+    pub fn new(levels: usize, window_len: u64, capacity: usize) -> Self {
+        assert!(window_len > 0, "window_len must be positive");
+        assert!(capacity > 0, "need at least one window");
+        TimelineSampler {
+            window_len,
+            windows: vec![MetricsRegistry::new(levels); capacity],
+            touched: 0,
+            cur: 0,
+            max_tick: 0,
+        }
+    }
+
+    /// Ticks per window.
+    pub fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    /// Windows allocated.
+    pub fn capacity(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Cache levels each window registry was sized for.
+    pub fn levels(&self) -> usize {
+        self.windows[0].levels()
+    }
+
+    /// Number of leading windows the run has reached.
+    pub fn num_windows(&self) -> usize {
+        self.touched
+    }
+
+    /// The windows the run has reached, in tick order.
+    pub fn windows(&self) -> &[MetricsRegistry] {
+        &self.windows[..self.touched]
+    }
+
+    /// Read-only access to window `index` (must be `< num_windows`).
+    pub fn window(&self, index: usize) -> &MetricsRegistry {
+        &self.windows[index]
+    }
+
+    /// Highest tick ever stamped via [`TimelineSampler::set_tick`].
+    pub fn max_tick(&self) -> u64 {
+        self.max_tick
+    }
+
+    /// True when ticks beyond `window_len * capacity` were clamped into
+    /// the last window.
+    pub fn truncated(&self) -> bool {
+        self.max_tick > self.window_len * self.windows.len() as u64
+    }
+
+    /// Points the sampler at the window containing `tick` (ticks are
+    /// 1-based, as produced by `Recorder::begin_access`; tick 0 maps to
+    /// the first window). Out-of-range ticks clamp to the last window.
+    #[inline]
+    pub fn set_tick(&mut self, tick: u64) {
+        if tick > self.max_tick {
+            self.max_tick = tick;
+        }
+        let mut idx = (tick.saturating_sub(1) / self.window_len) as usize;
+        if idx >= self.windows.len() {
+            idx = self.windows.len() - 1;
+        }
+        self.cur = idx;
+        if idx + 1 > self.touched {
+            self.touched = idx + 1;
+        }
+    }
+
+    /// Index of the window the last stamped tick falls in.
+    #[inline]
+    pub fn current_window(&self) -> usize {
+        self.cur
+    }
+
+    /// The registry of the current window — every mutation the recorder
+    /// applies to its whole-run registry is mirrored here, which is
+    /// what makes window sums exact.
+    #[inline]
+    pub fn sample_window(&mut self) -> &mut MetricsRegistry {
+        &mut self.windows[self.cur]
+    }
+
+    /// The registry of window `index`, clamped to the last window —
+    /// used to flush batched histograms into the window whose access
+    /// generated them, even if later accesses already moved `cur` on.
+    #[inline]
+    pub fn window_at_mut(&mut self, index: usize) -> &mut MetricsRegistry {
+        let last = self.windows.len() - 1;
+        let idx = if index < last { index } else { last };
+        if idx + 1 > self.touched {
+            self.touched = idx + 1;
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Adds `other`'s windows into `self`, aligned on window index.
+    /// Associative and commutative, so per-shard timelines fold in any
+    /// order to the serial driver's timeline.
+    ///
+    /// # Panics
+    /// Panics if the samplers differ in window length, capacity or
+    /// hierarchy depth.
+    pub fn merge(&mut self, other: &TimelineSampler) {
+        assert_eq!(self.window_len, other.window_len, "window_len mismatch in timeline merge");
+        assert_eq!(self.windows.len(), other.windows.len(), "capacity mismatch in timeline merge");
+        for i in 0..other.touched {
+            self.windows[i].merge(&other.windows[i]);
+        }
+        if other.touched > self.touched {
+            self.touched = other.touched;
+        }
+        if other.max_tick > self.max_tick {
+            self.max_tick = other.max_tick;
+        }
+    }
+
+    /// Sums every touched window into one registry; by construction
+    /// this equals the recorder's whole-run [`MetricsRegistry`]
+    /// (checked by `check::windows_reconcile`).
+    pub fn summed(&self) -> MetricsRegistry {
+        let mut total = MetricsRegistry::new(self.levels());
+        for w in self.windows() {
+            total.merge(w);
+        }
+        total
+    }
+}
+
+impl PartialEq for TimelineSampler {
+    /// Structural equality of everything observable: window geometry,
+    /// reached windows and their contents, and the stamped tick range.
+    /// The transient cursor is deliberately excluded so a folded
+    /// timeline compares equal to the serial one.
+    fn eq(&self, other: &Self) -> bool {
+        self.window_len == other.window_len
+            && self.windows.len() == other.windows.len()
+            && self.touched == other.touched
+            && self.max_tick == other.max_tick
+            && self.windows[..self.touched] == other.windows[..other.touched]
+    }
+}
+
+impl Eq for TimelineSampler {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CounterId;
+
+    #[test]
+    fn ticks_land_in_their_windows_and_sum_is_exact() {
+        let mut t = TimelineSampler::new(2, 4, 8);
+        for tick in 1..=10u64 {
+            t.set_tick(tick);
+            t.sample_window().inc(CounterId::Accesses);
+        }
+        assert_eq!(t.num_windows(), 3);
+        assert_eq!(t.window(0).counter(CounterId::Accesses), 4);
+        assert_eq!(t.window(1).counter(CounterId::Accesses), 4);
+        assert_eq!(t.window(2).counter(CounterId::Accesses), 2);
+        assert_eq!(t.summed().counter(CounterId::Accesses), 10);
+        assert!(!t.truncated());
+    }
+
+    #[test]
+    fn overflow_clamps_into_the_last_window() {
+        let mut t = TimelineSampler::new(1, 2, 2);
+        for tick in 1..=9u64 {
+            t.set_tick(tick);
+            t.sample_window().inc(CounterId::Hits);
+        }
+        assert!(t.truncated());
+        assert_eq!(t.num_windows(), 2);
+        assert_eq!(t.window(0).counter(CounterId::Hits), 2);
+        assert_eq!(t.window(1).counter(CounterId::Hits), 7);
+        assert_eq!(t.summed().counter(CounterId::Hits), 9);
+    }
+
+    #[test]
+    fn merge_aligns_on_window_index() {
+        let mut a = TimelineSampler::new(1, 2, 4);
+        let mut b = TimelineSampler::new(1, 2, 4);
+        a.set_tick(1);
+        a.sample_window().inc(CounterId::Hits);
+        b.set_tick(4);
+        b.sample_window().inc(CounterId::Misses);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.num_windows(), 2);
+        assert_eq!(ab.window(0).counter(CounterId::Hits), 1);
+        assert_eq!(ab.window(1).counter(CounterId::Misses), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window_len mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = TimelineSampler::new(1, 2, 4);
+        let b = TimelineSampler::new(1, 3, 4);
+        a.merge(&b);
+    }
+}

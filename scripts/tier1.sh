@@ -85,4 +85,16 @@ mkdir -p results
 cargo run -q --release -p ulc-bench --features "alloc_stats obs" --bin sweep -- \
   --bench-only --scale=smoke --bench-json=results/BENCH_obs.json
 
+# The flight-recorder export round trip (DESIGN.md §5j, EXPERIMENTS.md
+# E12): the golden schema snapshot pins the export's shape, then
+# obs-tool writes a seeded smoke export (+ Chrome trace) whose window
+# sums must reconcile exactly with the final registries, and `verify`
+# re-parses the written file and recomputes the derived report
+# bit-identically — both commands exit non-zero on any drift.
+cargo test -q -p ulc-bench --features obs --test obs_export_schema
+cargo run -q --release -p ulc-bench --features obs --bin obs-tool -- \
+  export --scale=smoke --out=results/FLIGHT_obs.json --chrome=results/FLIGHT_trace.json
+cargo run -q --release -p ulc-bench --features obs --bin obs-tool -- \
+  verify --in=results/FLIGHT_obs.json
+
 echo "tier1: ok"
